@@ -1,0 +1,70 @@
+// Shared helpers of the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (Sec. VI) and prints the corresponding rows/series. The
+// scenarios mirror the paper's configurations:
+//
+//   ORWL             - the ORWL application, threads left to the OS
+//   ORWL (Affinity)  - same, placed by Algorithm 1 (ORWL_AFFINITY=1)
+//   OpenMP           - fork-join baseline, unbound
+//   OpenMP (Affinity)- fork-join baseline, best of the OMP_PLACES=cores
+//                      close/spread bindings (the paper reports only the
+//                      best OpenMP strategy)
+//   MKL / MKL(scatter) / MKL(compact) - the shared-B GEMM under no
+//                      binding / KMP_AFFINITY=scatter / =compact
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/table.hpp"
+#include "treematch/strategies.hpp"
+
+namespace orwl::bench {
+
+/// Placement by Algorithm 1 for a workload (control threads included).
+inline sim::BindSpec treematch_bind(const sim::MachineModel& m,
+                                    const sim::Workload& w) {
+  tm::Options opts;
+  opts.num_control_threads = w.control_threads;
+  return sim::BindSpec::bound(tm::tree_match(m.topology, w.comm, opts));
+}
+
+/// Placement by one of the generic strategies.
+inline sim::BindSpec strategy_bind(tm::Strategy s,
+                                   const sim::MachineModel& m,
+                                   const sim::Workload& w) {
+  return sim::BindSpec::bound(
+      tm::place_strategy(s, m.topology, w.num_threads, &w.comm));
+}
+
+/// The paper's "OpenMP (affinity)": best result across the close and
+/// spread places=cores bindings.
+inline sim::SimResult best_omp_affinity(const sim::MachineModel& m,
+                                        const sim::Workload& w) {
+  const sim::SimResult close =
+      sim::simulate(m, w, strategy_bind(tm::Strategy::CompactCores, m, w));
+  const sim::SimResult spread =
+      sim::simulate(m, w, strategy_bind(tm::Strategy::ScatterCores, m, w));
+  return close.seconds <= spread.seconds ? close : spread;
+}
+
+inline std::string fmt_secs(double s) {
+  return support::format_double(s, s < 10 ? 2 : 1);
+}
+
+inline std::string fmt_gflops(double g) {
+  return support::format_double(g, g < 100 ? 1 : 0);
+}
+
+/// Counter row formatting consistent with Tables II-IV.
+inline std::vector<std::string> counter_row(const std::string& name,
+                                            const sim::SimResult& r) {
+  return {name, support::format_double(r.counters.l3_misses / 1e9, 1),
+          support::format_double(r.counters.stalled_cycles / 1e9, 0),
+          support::format_si(r.counters.context_switches, 1),
+          support::format_si(r.counters.cpu_migrations, 1)};
+}
+
+}  // namespace orwl::bench

@@ -1,0 +1,60 @@
+// Fig. 4: "The processing times of Livermore Kernel 23 (log scale)".
+//
+// 100 iterations over a 16384x16384 matrix of doubles; 4 operation
+// threads per block; series ORWL / ORWL (affinity) / OpenMP /
+// OpenMP (affinity) over the core counts of the paper, on both modeled
+// testbeds. Shapes to compare with the paper: all series scale within a
+// socket; the unbound ones flatten beyond ~16 cores; ORWL+affinity keeps
+// scaling, with a larger gap on the hyperthreaded SMP12E5.
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+constexpr std::size_t kN = 16384;
+constexpr std::size_t kIters = 100;
+
+void run_machine(const orwl::sim::MachineModel& m,
+                 const std::vector<std::size_t>& cores) {
+  using namespace orwl;
+  std::printf("-- %s --\n", m.name.c_str());
+  support::TextTable t;
+  t.header({"Nb Cores", "ORWL", "ORWL (affinity)", "OpenMP",
+            "OpenMP (affinity)"});
+  for (std::size_t nc : cores) {
+    const sim::Workload orwl_w =
+        apps::lk23_orwl_workload(kN, kIters, nc);
+    const sim::Workload omp_w =
+        apps::lk23_forkjoin_workload(kN, kIters, nc);
+
+    const auto orwl_native =
+        simulate(m, orwl_w, sim::BindSpec::os_scheduled());
+    const auto orwl_aff =
+        simulate(m, orwl_w, bench::treematch_bind(m, orwl_w));
+    const auto omp_native =
+        simulate(m, omp_w, sim::BindSpec::os_scheduled());
+    const auto omp_aff = nc == 1
+                             ? omp_native
+                             : bench::best_omp_affinity(m, omp_w);
+
+    t.row({std::to_string(nc), bench::fmt_secs(orwl_native.seconds),
+           bench::fmt_secs(orwl_aff.seconds),
+           bench::fmt_secs(omp_native.seconds),
+           bench::fmt_secs(omp_aff.seconds)});
+  }
+  std::printf("%s   (seconds, lower is better)\n\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using orwl::sim::MachineModel;
+  std::puts("== Fig. 4: Livermore Kernel 23 processing times ==");
+  std::printf("   16384x16384 doubles, %zu iterations, 4 ops/block\n\n",
+              kIters);
+  run_machine(MachineModel::smp12e5(), {1, 8, 16, 32, 64, 96});
+  run_machine(MachineModel::smp20e7(), {1, 8, 16, 32, 64, 128});
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 6: "FPS (logarithmic scale) of HD video tracking".
+//
+// The 30-task video application at HD / Full HD / 4K on 4 sockets (30
+// cores) of each machine; series Sequential / OpenMP / OpenMP (Affinity)
+// / ORWL / ORWL (Affinity). Shapes to compare: ORWL+affinity accelerates
+// the native ORWL run by ~4.5x on the hyperthreaded SMP12E5 and ~2.5x on
+// SMP20E7, while OpenMP binding only reaches ~2x / ~1.5x.
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+constexpr std::size_t kFrames = 128;
+
+struct Resolution {
+  const char* name;
+  orwl::apps::VideoParams params;
+};
+
+void run_machine(const orwl::sim::MachineModel& full) {
+  using namespace orwl;
+  // "we use only 4 sockets (30 cores) of the architectures"
+  const sim::MachineModel m = restricted(full, 4);
+  std::printf("-- %s (4 sockets) --\n", full.name.c_str());
+
+  std::vector<Resolution> resolutions{
+      {"HD", apps::video_hd()},
+      {"Full HD", apps::video_full_hd()},
+      {"4K", apps::video_4k()},
+  };
+  support::TextTable t;
+  t.header({"Resolution", "Sequential", "OpenMP", "OpenMP (Affinity)",
+            "ORWL", "ORWL (Affinity)"});
+  for (auto& r : resolutions) {
+    r.params.frames = kFrames;
+    const sim::Workload seq = apps::video_sequential_workload(r.params);
+    const sim::Workload omp = apps::video_forkjoin_workload(r.params);
+    const sim::Workload orwl_w = apps::video_orwl_workload(r.params);
+
+    auto fps = [&](const sim::SimResult& res) {
+      return support::format_double(kFrames / res.seconds, 1);
+    };
+    t.row({r.name,
+           fps(simulate(m, seq, sim::BindSpec::os_scheduled())),
+           fps(simulate(m, omp, sim::BindSpec::os_scheduled())),
+           fps(bench::best_omp_affinity(m, omp)),
+           fps(simulate(m, orwl_w, sim::BindSpec::os_scheduled())),
+           fps(simulate(m, orwl_w, bench::treematch_bind(m, orwl_w)))});
+  }
+  std::printf("%s   (frames per second, higher is better)\n\n",
+              t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using orwl::sim::MachineModel;
+  std::puts("== Fig. 6: video tracking frames per second ==");
+  std::printf("   30 tasks on 30 cores, %zu frames per run\n\n", kFrames);
+  run_machine(MachineModel::smp12e5());
+  run_machine(MachineModel::smp20e7());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Microbenchmark of the blocked DGEMM kernel (the MKL substitute).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/dgemm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+void BM_Dgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  orwl::support::SplitMix64 rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform();
+  for (auto& x : b) x = rng.uniform();
+  for (auto _ : state) {
+    orwl::apps::dgemm(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  orwl::support::SplitMix64 rng(2);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform();
+  for (auto& x : b) x = rng.uniform();
+  for (auto _ : state) {
+    orwl::apps::dgemm_naive(n, n, n, a.data(), n, b.data(), n, c.data(),
+                            n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_DgemmNaive)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks of the ORWL runtime primitives: FIFO lock cycling,
+// reader sharing and the control-plane hand-off cost.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/control_plane.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace {
+
+using namespace orwl::rt;
+
+void BM_WriteCycleUncontended(benchmark::State& state) {
+  RequestQueue q;
+  Ticket t = q.enqueue(AccessMode::Write);
+  for (auto _ : state) {
+    q.acquire(t);
+    t = q.reinsert_and_release(t, AccessMode::Write);
+  }
+}
+BENCHMARK(BM_WriteCycleUncontended);
+
+void BM_WriteCycleWithControlPlane(benchmark::State& state) {
+  ControlPlane cp(2);
+  cp.start();
+  RequestQueue q;
+  q.set_control_plane(&cp);
+  Ticket t = q.enqueue(AccessMode::Write);
+  for (auto _ : state) {
+    q.acquire(t);
+    t = q.reinsert_and_release(t, AccessMode::Write);
+  }
+  cp.stop();
+}
+BENCHMARK(BM_WriteCycleWithControlPlane);
+
+void BM_ContendedRing(benchmark::State& state) {
+  // N threads iterate on one queue: the full lock hand-off path.
+  const int contenders = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RequestQueue q;
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < contenders; ++i) {
+      tickets.push_back(q.enqueue(AccessMode::Write));
+    }
+    std::vector<std::thread> threads;
+    state.ResumeTiming();
+    for (int i = 0; i < contenders; ++i) {
+      threads.emplace_back([&q, t = tickets[static_cast<std::size_t>(i)]]()
+                               mutable {
+        for (int k = 0; k < 200; ++k) {
+          q.acquire(t);
+          t = q.reinsert_and_release(t, AccessMode::Write);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * contenders * 200);
+}
+BENCHMARK(BM_ContendedRing)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReaderSharingGrant(benchmark::State& state) {
+  // One writer followed by N readers: measures the group-grant path.
+  const int readers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RequestQueue q;
+    const Ticket w = q.enqueue(AccessMode::Write);
+    std::vector<Ticket> rs;
+    for (int i = 0; i < readers; ++i) {
+      rs.push_back(q.enqueue(AccessMode::Read));
+    }
+    q.release(w);
+    for (Ticket r : rs) {
+      q.acquire(r);
+      q.release(r);
+    }
+  }
+}
+BENCHMARK(BM_ReaderSharingGrant)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

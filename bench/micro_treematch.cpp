@@ -1,0 +1,85 @@
+// Microbenchmark backing the paper's claim that "the runtime overhead is
+// kept negligible for current SMP machines" (Sec. IV-A, footnote 2):
+// Algorithm 1's running time as the thread count grows, with the Auto
+// engine switching from the exact to the greedy grouping.
+#include <benchmark/benchmark.h>
+
+#include "affinity/affinity.hpp"
+#include "support/rng.hpp"
+#include "topo/machines.hpp"
+#include "treematch/treematch.hpp"
+
+namespace {
+
+using namespace orwl;
+
+tm::CommMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  tm::CommMatrix m(n);
+  support::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, static_cast<double>(rng.below(1 << 20)));
+    }
+  }
+  return m;
+}
+
+void BM_TreeMatchAuto(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const topo::Topology topo = topo::make_smp12e5();
+  const tm::CommMatrix m = random_matrix(threads, 42);
+  tm::Options opts;
+  opts.num_control_threads = threads / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm::tree_match(topo, m, opts));
+  }
+}
+BENCHMARK(BM_TreeMatchAuto)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(96)
+    ->Arg(192)->Arg(384)->Unit(benchmark::kMillisecond);
+
+void BM_GroupingGreedy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tm::CommMatrix m = random_matrix(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tm::group_processes(m, 8, tm::GroupingEngine::Greedy));
+  }
+}
+BENCHMARK(BM_GroupingGreedy)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupingExactSmall(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tm::CommMatrix m = random_matrix(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tm::group_processes(m, 2, tm::GroupingEngine::Exact));
+  }
+}
+BENCHMARK(BM_GroupingExactSmall)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DependencyExtraction(benchmark::State& state) {
+  // Cost of turning a frozen graph into a matrix (dependency_get).
+  const std::size_t tasks = static_cast<std::size_t>(state.range(0));
+  orwl::rt::TaskGraph g;
+  g.num_tasks = tasks;
+  g.locations_per_task = 4;
+  g.locations.resize(tasks * 4);
+  for (std::size_t l = 0; l < g.locations.size(); ++l) {
+    g.locations[l].id = l;
+    g.locations[l].owner = l / 4;
+    g.locations[l].bytes = 4096;
+    g.locations[l].accesses.push_back(
+        {l / 4, orwl::rt::AccessMode::Write, 0});
+    g.locations[l].accesses.push_back(
+        {(l / 4 + 1) % tasks, orwl::rt::AccessMode::Read, 1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orwl::aff::comm_matrix_from_graph(g));
+  }
+}
+BENCHMARK(BM_DependencyExtraction)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table I: "The multi-core architectures used for the experiments".
+// Prints the two modeled testbeds and their topology trees.
+#include <cstdio>
+#include <iostream>
+
+#include "sim/machine_model.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace orwl;
+  std::puts("== Table I: the multi-core architectures used for the "
+            "experiments (modeled) ==\n");
+
+  const sim::MachineModel a = sim::MachineModel::smp12e5();
+  const sim::MachineModel b = sim::MachineModel::smp20e7();
+
+  support::TextTable t;
+  t.header({"Name", a.name, b.name});
+  auto row = [&](const char* what, const std::string& va,
+                 const std::string& vb) {
+    t.row({what, va, vb});
+  };
+  auto num = [](double v, int prec = 0) {
+    return support::format_double(v, prec);
+  };
+  row("Cores per socket", "8", "8");
+  row("NUMA nodes",
+      std::to_string(a.topology.at_depth(
+          a.topology.depth_of_type(topo::ObjType::NumaNode)).size()),
+      std::to_string(b.topology.at_depth(
+          b.topology.depth_of_type(topo::ObjType::NumaNode)).size()));
+  row("Total cores", std::to_string(a.topology.num_cores()),
+      std::to_string(b.topology.num_cores()));
+  row("Total PUs", std::to_string(a.topology.num_pus()),
+      std::to_string(b.topology.num_pus()));
+  row("Clock rate (MHz)", num(a.clock_ghz * 1000), num(b.clock_ghz * 1000));
+  row("Hyper-Threading", a.topology.has_hyperthreads() ? "Yes" : "No",
+      b.topology.has_hyperthreads() ? "Yes" : "No");
+  row("L1 cache", support::format_bytes(
+          static_cast<double>(a.topology.cache_size(topo::ObjType::L1)), 0),
+      support::format_bytes(
+          static_cast<double>(b.topology.cache_size(topo::ObjType::L1)), 0));
+  row("L2 cache", support::format_bytes(
+          static_cast<double>(a.topology.cache_size(topo::ObjType::L2)), 0),
+      support::format_bytes(
+          static_cast<double>(b.topology.cache_size(topo::ObjType::L2)), 0));
+  row("L3 cache", support::format_bytes(
+          static_cast<double>(a.topology.cache_size(topo::ObjType::L3)), 0),
+      support::format_bytes(
+          static_cast<double>(b.topology.cache_size(topo::ObjType::L3)), 0));
+  row("Interconnect (GB/s)", num(a.interconnect_gbps, 1),
+      num(b.interconnect_gbps, 1));
+  row("OS scheduler model", to_string(a.os_policy), to_string(b.os_policy));
+  std::cout << t.render() << '\n';
+
+  std::cout << a.topology.render() << '\n';
+  std::cout << b.topology.render() << '\n';
+  std::cout << a.topology.summary() << '\n'
+            << b.topology.summary() << '\n';
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table III: "Accumulated hardware/software counters of matrix
+// multiplication on SMP12E5 (64 cores)".
+//
+// Paper values for reference:
+//                       L3 miss(G)  stalls(G)  CPU mig.  ctx sw.
+//   ORWL                102         8110       28963     153265
+//   ORWL (Affinity)     13.8        980        0         125368
+//   MKL                 140         8850       486       2863
+//   MKL (scatter)       99          8140       0         2750
+//   MKL (compact)       89          8520       0         3001
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace orwl;
+  std::puts("== Table III: matmul hardware/software counters, SMP12E5, 64 "
+            "cores ==\n");
+
+  const sim::MachineModel m = sim::MachineModel::smp12e5();
+  const sim::Workload orwl_w = apps::matmul_orwl_workload(16384, 64);
+  const sim::Workload mkl_w = apps::matmul_mkl_workload(16384, 64);
+
+  support::TextTable t;
+  t.header({"", "Billions of L3 misses", "Billions of stalled cycles",
+            "context switches", "CPU migrations"});
+  t.row(bench::counter_row(
+      "ORWL", simulate(m, orwl_w, sim::BindSpec::os_scheduled())));
+  t.row(bench::counter_row(
+      "ORWL (Affinity)",
+      simulate(m, orwl_w, bench::treematch_bind(m, orwl_w))));
+  t.row(bench::counter_row(
+      "MKL", simulate(m, mkl_w, sim::BindSpec::os_scheduled())));
+  t.row(bench::counter_row(
+      "MKL (Affinity scatter)",
+      simulate(m, mkl_w,
+               bench::strategy_bind(tm::Strategy::ScatterCores, m, mkl_w))));
+  t.row(bench::counter_row(
+      "MKL (Affinity compact)",
+      simulate(m, mkl_w,
+               bench::strategy_bind(tm::Strategy::Compact, m, mkl_w))));
+  std::printf("%s\n", t.render().c_str());
+  std::puts("paper shape check: ORWL+affinity has by far the fewest "
+            "misses/stalls; the MKL variants stay miss-heavy regardless\n"
+            "of binding; migrations vanish whenever threads are bound.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Domain example: block-cyclic matrix multiplication (Sec. V-B).
+//
+// Shows the ring-circulation decomposition, verifies the parallel result
+// against the sequential kernel, and reports effective GFLOP/s for the
+// unplaced and placed executions.
+//
+// Usage: ./matmul_ring [n] [tasks]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/matmul.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orwl;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
+  const std::size_t tasks =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  if (n % tasks != 0) {
+    std::fprintf(stderr, "n (%zu) must be a multiple of tasks (%zu)\n", n,
+                 tasks);
+    return 1;
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  std::printf("C = A*B with %zux%zu doubles, %zu ring tasks\n\n", n, n,
+              tasks);
+
+  auto reference = apps::MatmulProblem::generate(n);
+  auto t0 = std::chrono::steady_clock::now();
+  apps::matmul_sequential(reference);
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("sequential      : %.3f s (%.1f GF/s)\n", secs,
+              flops / secs / 1e9);
+
+  for (const bool affinity : {false, true}) {
+    auto problem = apps::MatmulProblem::generate(n);
+    rt::ProgramOptions opts;
+    opts.affinity = affinity ? rt::AffinityMode::On : rt::AffinityMode::Off;
+    t0 = std::chrono::steady_clock::now();
+    apps::matmul_orwl(problem, tasks, opts);
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count();
+    double max_err = 0;
+    for (std::size_t i = 0; i < problem.c.size(); ++i) {
+      max_err = std::max(max_err,
+                         std::fabs(problem.c[i] - reference.c[i]));
+    }
+    std::printf("ORWL %-11s: %.3f s (%.1f GF/s), max |err| = %.2e\n",
+                affinity ? "affinity on" : "affinity off", secs,
+                flops / secs / 1e9, max_err);
+    if (max_err > 1e-9) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Topology explorer: inspect the host machine (or the paper's modeled
+// testbeds) and try placement strategies on a synthetic workload.
+//
+// Usage:
+//   ./topology_explorer              # detected host
+//   ./topology_explorer smp12e5     # the paper's hyperthreaded testbed
+//   ./topology_explorer smp20e7
+//   ./topology_explorer fig2
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "support/env.hpp"
+#include "topo/detect.hpp"
+#include "topo/machines.hpp"
+#include "topo/serialize.hpp"
+#include "treematch/strategies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace orwl;
+
+  topo::Topology machine;
+  const char* which = argc > 1 ? argv[1] : "host";
+  if (support::iequals(which, "smp12e5")) {
+    machine = topo::make_smp12e5();
+  } else if (support::iequals(which, "smp20e7")) {
+    machine = topo::make_smp20e7();
+  } else if (support::iequals(which, "fig2")) {
+    machine = topo::make_fig2_machine();
+  } else {
+    machine = topo::detect_host();
+  }
+
+  std::cout << machine.summary() << "\n\n" << machine.render() << '\n';
+  std::printf("hyperthreads: %s, symmetric: %s, depth: %d\n\n",
+              machine.has_hyperthreads() ? "yes" : "no",
+              machine.is_symmetric() ? "yes" : "no", machine.depth());
+
+  // Place a communication ring of half the cores with every strategy and
+  // compare the modeled costs.
+  const std::size_t n = std::max<std::size_t>(2, machine.num_cores() / 2);
+  tm::CommMatrix ring(n);
+  for (std::size_t i = 0; i < n; ++i) ring.add(i, (i + 1) % n, 1 << 20);
+
+  std::printf("placing a %zu-thread communication ring:\n", n);
+  for (tm::Strategy s :
+       {tm::Strategy::Compact, tm::Strategy::CompactCores,
+        tm::Strategy::Scatter, tm::Strategy::ScatterCores,
+        tm::Strategy::TreeMatch}) {
+    if (!machine.is_symmetric() && s == tm::Strategy::TreeMatch) {
+      std::puts("  treematch       : skipped (asymmetric host topology)");
+      continue;
+    }
+    const tm::Placement p = tm::place_strategy(s, machine, n, &ring);
+    std::printf("  %-16s: modeled cost %.3g\n", to_string(s),
+                tm::modeled_cost(machine, ring, p));
+  }
+
+  // Round-trip through the serialization format (hwloc XML analog) to
+  // show descriptions can be saved and reloaded losslessly.
+  const std::string text = topo::serialize(machine);
+  const topo::Topology reparsed = topo::parse_topology(text);
+  std::printf("\nserialization round-trip: %zu bytes, %s\n", text.size(),
+              topo::serialize(reparsed) == text ? "lossless" : "LOSSY?!");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "apps/dgemm.hpp"
+
+#include <algorithm>
+
+namespace orwl::apps {
+
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k,
+                 const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[i * ldc + j];
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * lda + p] * b[p * ldb + j];
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+namespace {
+
+// Cache-block sizes: the k-panel of A and the (kc x nc) panel of B stay
+// resident in L1/L2 across the micro-kernel sweeps.
+constexpr std::size_t kMC = 64;
+constexpr std::size_t kKC = 128;
+constexpr std::size_t kNC = 256;
+
+/// Micro-kernel: C(i, j..j+3) += A(i, :) * B(:, j..j+3) over one k-panel,
+/// i-k-j order with 4-wide accumulation so the compiler vectorizes the
+/// inner updates.
+inline void micro_panel(std::size_t mc, std::size_t nc, std::size_t kc,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < mc; ++i) {
+    const double* arow = a + i * lda;
+    double* crow = c + i * ldc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const double aval = arow[p];
+      const double* brow = b + p * ldb;
+      std::size_t j = 0;
+      for (; j + 4 <= nc; j += 4) {
+        crow[j] += aval * brow[j];
+        crow[j + 1] += aval * brow[j + 1];
+        crow[j + 2] += aval * brow[j + 2];
+        crow[j + 3] += aval * brow[j + 3];
+      }
+      for (; j < nc; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(std::size_t m, std::size_t n, std::size_t k, const double* a,
+           std::size_t lda, const double* b, std::size_t ldb, double* c,
+           std::size_t ldc) {
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        micro_panel(mc, nc, kc, a + ic * lda + pc, lda,
+                    b + pc * ldb + jc, ldb, c + ic * ldc + jc, ldc);
+      }
+    }
+  }
+}
+
+}  // namespace orwl::apps

@@ -1,0 +1,401 @@
+#include "apps/lk23.hpp"
+
+#include <stdexcept>
+
+#include "runtime/handle.hpp"
+#include "runtime/split.hpp"
+#include "support/rng.hpp"
+
+namespace orwl::apps {
+
+namespace {
+
+using rt::Handle2;
+using rt::Section;
+using rt::split_range;
+
+constexpr double kRelax = 0.175;
+
+/// One Gauss-Seidel cell update.
+inline void update_cell(double& za_jk, double north, double south,
+                        double east, double west, double zr, double zb,
+                        double zu, double zv, double zz) {
+  const double qa =
+      south * zr + north * zb + east * zu + west * zv + zz;
+  za_jk += kRelax * (qa - za_jk);
+}
+
+}  // namespace
+
+Lk23Problem Lk23Problem::generate(std::size_t n, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("Lk23Problem: n must be >= 3");
+  Lk23Problem p;
+  p.n = n;
+  support::SplitMix64 rng(seed);
+  auto fill = [&](std::vector<double>& v, double scale) {
+    v.resize(n * n);
+    for (auto& x : v) x = scale * (rng.uniform() - 0.5);
+  };
+  fill(p.za, 1.0);
+  // Small coefficients keep the relaxation numerically tame.
+  fill(p.zb, 0.05);
+  fill(p.zr, 0.05);
+  fill(p.zu, 0.05);
+  fill(p.zv, 0.05);
+  fill(p.zz, 0.1);
+  return p;
+}
+
+void lk23_sequential(Lk23Problem& p, std::size_t iters) {
+  const std::size_t n = p.n;
+  double* za = p.za.data();
+  const double* zb = p.zb.data();
+  const double* zr = p.zr.data();
+  const double* zu = p.zu.data();
+  const double* zv = p.zv.data();
+  const double* zz = p.zz.data();
+  for (std::size_t l = 0; l < iters; ++l) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        const std::size_t i = j * n + k;
+        update_cell(za[i], za[i - n], za[i + n], za[i + 1], za[i - 1],
+                    zr[i], zb[i], zu[i], zv[i], zz[i]);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Shared block geometry for the parallel variants.
+struct BlockGeom {
+  std::size_t r0, r1;  ///< row range [r0, r1) within the grid
+  std::size_t c0, c1;  ///< col range
+  std::size_t h() const { return r1 - r0; }
+  std::size_t w() const { return c1 - c0; }
+};
+
+BlockGeom block_geom(std::size_t n, std::size_t by, std::size_t bx,
+                     std::size_t bi, std::size_t bj) {
+  // The interior [1, n-1) is tiled; boundary ring stays fixed.
+  const auto rows = split_range(n - 2, by, bi);
+  const auto cols = split_range(n - 2, bx, bj);
+  return BlockGeom{rows.begin + 1, rows.end + 1, cols.begin + 1,
+                   cols.end + 1};
+}
+
+/// Compute one block sweep. Neighbor values that live outside the block
+/// come from the halo arrays (which the caller filled from locations or
+/// from the fixed grid boundary).
+void sweep_block(Lk23Problem& p, const BlockGeom& g,
+                 const std::vector<double>& halo_n,
+                 const std::vector<double>& halo_s,
+                 const std::vector<double>& halo_w,
+                 const std::vector<double>& halo_e) {
+  const std::size_t n = p.n;
+  double* za = p.za.data();
+  for (std::size_t j = g.r0; j < g.r1; ++j) {
+    for (std::size_t k = g.c0; k < g.c1; ++k) {
+      const std::size_t i = j * n + k;
+      const double north = j == g.r0 ? halo_n[k - g.c0] : za[i - n];
+      const double south = j == g.r1 - 1 ? halo_s[k - g.c0] : za[i + n];
+      const double west = k == g.c0 ? halo_w[j - g.r0] : za[i - 1];
+      const double east = k == g.c1 - 1 ? halo_e[j - g.r0] : za[i + 1];
+      update_cell(za[i], north, south, east, west, p.zr[i], p.zb[i],
+                  p.zu[i], p.zv[i], p.zz[i]);
+    }
+  }
+}
+
+// Halo location slots per task (owner writes its borders after updating):
+//   0 = N-out: own top row    (read by the NORTH neighbor, one-iter lag)
+//   1 = S-out: own bottom row (read by the SOUTH neighbor, same iter)
+//   2 = W-out: own left col   (read by the WEST  neighbor, one-iter lag)
+//   3 = E-out: own right col  (read by the EAST  neighbor, same iter)
+// Same-iteration locations order writer first (w:0, r:1); lagged ones
+// order the reader first (r:0, w:1) and carry the initial border value.
+constexpr std::size_t kLocN = 0;
+constexpr std::size_t kLocS = 1;
+constexpr std::size_t kLocW = 2;
+constexpr std::size_t kLocE = 3;
+
+}  // namespace
+
+void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
+               std::size_t bx, rt::ProgramOptions prog_opts) {
+  if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
+    throw std::invalid_argument("lk23_orwl: bad block grid");
+  }
+  prog_opts.locations_per_task = 4;
+  rt::Program prog(by * bx, prog_opts);
+
+  prog.set_task_body([&, by, bx, iters](rt::TaskContext& ctx) {
+    const std::size_t bi = ctx.id() / bx;
+    const std::size_t bj = ctx.id() % bx;
+    const BlockGeom g = block_geom(p.n, by, bx, bi, bj);
+    const std::size_t n = p.n;
+
+    // Scale own halo locations and prime the lagged ones with the
+    // initial border values.
+    ctx.scale(g.w() * sizeof(double), kLocN);
+    ctx.scale(g.w() * sizeof(double), kLocS);
+    ctx.scale(g.h() * sizeof(double), kLocW);
+    ctx.scale(g.h() * sizeof(double), kLocE);
+    {
+      double* init_n = ctx.my_location(kLocN).as<double>();
+      double* init_w = ctx.my_location(kLocW).as<double>();
+      for (std::size_t k = 0; k < g.w(); ++k) {
+        init_n[k] = p.za[g.r0 * n + g.c0 + k];
+      }
+      for (std::size_t j = 0; j < g.h(); ++j) {
+        init_w[j] = p.za[(g.r0 + j) * n + g.c0];
+      }
+    }
+
+    // Own write handles.
+    Handle2 w_n, w_s, w_w, w_e;
+    w_n.write_insert(ctx, ctx.my_location(kLocN), 1);  // lagged: reader first
+    w_s.write_insert(ctx, ctx.my_location(kLocS), 0);  // same-iter
+    w_w.write_insert(ctx, ctx.my_location(kLocW), 1);  // lagged
+    w_e.write_insert(ctx, ctx.my_location(kLocE), 0);  // same-iter
+
+    // Incoming halo handles (absent on grid boundary).
+    const bool has_north = bi > 0;
+    const bool has_south = bi + 1 < by;
+    const bool has_west = bj > 0;
+    const bool has_east = bj + 1 < bx;
+    Handle2 r_n, r_s, r_w, r_e;
+    if (has_north) {  // north's bottom row, same iteration
+      r_n.read_insert(ctx, ctx.location(ctx.id() - bx, kLocS), 1);
+    }
+    if (has_south) {  // south's top row, one-iteration lag
+      r_s.read_insert(ctx, ctx.location(ctx.id() + bx, kLocN), 0);
+    }
+    if (has_west) {  // west's right col, same iteration
+      r_w.read_insert(ctx, ctx.location(ctx.id() - 1, kLocE), 1);
+    }
+    if (has_east) {  // east's left col, one-iteration lag
+      r_e.read_insert(ctx, ctx.location(ctx.id() + 1, kLocW), 0);
+    }
+
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+
+    std::vector<double> halo_n(g.w()), halo_s(g.w());
+    std::vector<double> halo_w(g.h()), halo_e(g.h());
+
+    for (std::size_t l = 0; l < iters; ++l) {
+      // -- gather phase ------------------------------------------------
+      if (has_north) {
+        Section sec(r_n);
+        const double* v = sec.as_const<double>();
+        std::copy(v, v + g.w(), halo_n.begin());
+      } else {
+        for (std::size_t k = 0; k < g.w(); ++k) {
+          halo_n[k] = p.za[(g.r0 - 1) * n + g.c0 + k];
+        }
+      }
+      if (has_west) {
+        Section sec(r_w);
+        const double* v = sec.as_const<double>();
+        std::copy(v, v + g.h(), halo_w.begin());
+      } else {
+        for (std::size_t j = 0; j < g.h(); ++j) {
+          halo_w[j] = p.za[(g.r0 + j) * n + g.c0 - 1];
+        }
+      }
+      if (has_south) {
+        Section sec(r_s);
+        const double* v = sec.as_const<double>();
+        std::copy(v, v + g.w(), halo_s.begin());
+      } else {
+        for (std::size_t k = 0; k < g.w(); ++k) {
+          halo_s[k] = p.za[g.r1 * n + g.c0 + k];
+        }
+      }
+      if (has_east) {
+        Section sec(r_e);
+        const double* v = sec.as_const<double>();
+        std::copy(v, v + g.h(), halo_e.begin());
+      } else {
+        for (std::size_t j = 0; j < g.h(); ++j) {
+          halo_e[j] = p.za[(g.r0 + j) * n + g.c1];
+        }
+      }
+
+      // -- compute -----------------------------------------------------
+      sweep_block(p, g, halo_n, halo_s, halo_w, halo_e);
+
+      // -- publish phase -----------------------------------------------
+      {
+        Section sec(w_n);
+        double* v = sec.as<double>();
+        for (std::size_t k = 0; k < g.w(); ++k) {
+          v[k] = p.za[g.r0 * n + g.c0 + k];
+        }
+      }
+      {
+        Section sec(w_s);
+        double* v = sec.as<double>();
+        for (std::size_t k = 0; k < g.w(); ++k) {
+          v[k] = p.za[(g.r1 - 1) * n + g.c0 + k];
+        }
+      }
+      {
+        Section sec(w_w);
+        double* v = sec.as<double>();
+        for (std::size_t j = 0; j < g.h(); ++j) {
+          v[j] = p.za[(g.r0 + j) * n + g.c0];
+        }
+      }
+      {
+        Section sec(w_e);
+        double* v = sec.as<double>();
+        for (std::size_t j = 0; j < g.h(); ++j) {
+          v[j] = p.za[(g.r0 + j) * n + g.c1 - 1];
+        }
+      }
+    }
+  });
+
+  prog.run();
+}
+
+void lk23_forkjoin(Lk23Problem& p, std::size_t iters, std::size_t by,
+                   std::size_t bx, pool::ThreadPool& pool) {
+  if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
+    throw std::invalid_argument("lk23_forkjoin: bad block grid");
+  }
+  // Per sweep, the anti-diagonals of the block grid are processed in
+  // order; blocks on one diagonal are independent (their north/west
+  // blocks belong to earlier diagonals, already updated this sweep).
+  std::vector<double> halo_n, halo_s, halo_w, halo_e;  // filled per block
+  for (std::size_t l = 0; l < iters; ++l) {
+    for (std::size_t d = 0; d <= by + bx - 2; ++d) {
+      // Blocks with bi + bj == d.
+      std::vector<std::pair<std::size_t, std::size_t>> wave;
+      for (std::size_t bi = 0; bi < by; ++bi) {
+        if (d < bi) continue;
+        const std::size_t bj = d - bi;
+        if (bj < bx) wave.emplace_back(bi, bj);
+      }
+      pool.parallel_for(0, wave.size(), [&](std::size_t idx) {
+        const auto [bi, bj] = wave[idx];
+        const BlockGeom g = block_geom(p.n, by, bx, bi, bj);
+        const std::size_t n = p.n;
+        // Direct neighbor access: rows g.r0-1 / g.r1 and cols g.c0-1 /
+        // g.c1 hold exactly the values the sequential sweep would see.
+        std::vector<double> hn(g.w()), hs(g.w()), hw(g.h()), he(g.h());
+        for (std::size_t k = 0; k < g.w(); ++k) {
+          hn[k] = p.za[(g.r0 - 1) * n + g.c0 + k];
+          hs[k] = p.za[g.r1 * n + g.c0 + k];
+        }
+        for (std::size_t j = 0; j < g.h(); ++j) {
+          hw[j] = p.za[(g.r0 + j) * n + g.c0 - 1];
+          he[j] = p.za[(g.r0 + j) * n + g.c1];
+        }
+        sweep_block(p, g, hn, hs, hw, he);
+      });
+    }
+  }
+}
+
+tm::CommMatrix lk23_ops_comm_matrix(std::size_t n, std::size_t by,
+                                    std::size_t bx) {
+  // Thread layout per block b: 4b+0 center compute, 4b+1 row-border
+  // handler (N/S), 4b+2 column-border handler (W/E), 4b+3 halo gatherer.
+  // Locations (2 per task):
+  //   center op (4b+0), slot 0: the block buffer — written by the center,
+  //     read by both border handlers (block-sized: the dominant volume
+  //     that makes Algorithm 1 group the 4 ops of a block together);
+  //   gatherer (4b+3), slot 0: the assembled halo frame read by the
+  //     center op;
+  //   row handler (4b+1), slots 0/1: N-out / S-out halos;
+  //   col handler (4b+2), slots 0/1: W-out / E-out halos;
+  // The gatherer of a block reads the halo locations of the four
+  // neighboring blocks.
+  const std::size_t tasks = 4 * by * bx;
+  rt::ProgramOptions opts;
+  opts.locations_per_task = 2;
+  opts.dry_run = true;
+  opts.affinity = rt::AffinityMode::Off;
+  opts.control_threads = 0;
+  rt::Program prog(tasks, opts);
+
+  prog.set_task_body([&, by, bx](rt::TaskContext& ctx) {
+    const std::size_t block = ctx.id() / 4;
+    const std::size_t role = ctx.id() % 4;
+    const std::size_t bi = block / bx;
+    const std::size_t bj = block % bx;
+    const BlockGeom g = block_geom(n, by, bx, bi, bj);
+    const std::size_t block_bytes = g.h() * g.w() * sizeof(double);
+    const std::size_t row_bytes = g.w() * sizeof(double);
+    const std::size_t col_bytes = g.h() * sizeof(double);
+    const std::size_t frame_bytes = 2 * (row_bytes + col_bytes);
+
+    // All handles are leaked into this vector; the program is dry-run so
+    // they only serve graph construction.
+    std::vector<std::unique_ptr<Handle2>> handles;
+    auto link = [&](rt::Location& loc, rt::AccessMode m,
+                    std::uint64_t prio) {
+      handles.push_back(std::make_unique<Handle2>());
+      if (m == rt::AccessMode::Write) {
+        handles.back()->write_insert(ctx, loc, prio);
+      } else {
+        handles.back()->read_insert(ctx, loc, prio);
+      }
+    };
+    const auto task_of = [&](std::size_t b, std::size_t r) {
+      return b * 4 + r;
+    };
+
+    switch (role) {
+      case 0:  // center: writes block, reads the gatherer's frame
+        ctx.scale_hint(block_bytes, 0);
+        link(ctx.my_location(0), rt::AccessMode::Write, 0);
+        link(ctx.location(task_of(block, 3), 0), rt::AccessMode::Read, 1);
+        break;
+      case 1:  // row borders: reads block, publishes N-out / S-out
+        ctx.scale_hint(row_bytes, 0);
+        ctx.scale_hint(row_bytes, 1);
+        link(ctx.location(task_of(block, 0), 0), rt::AccessMode::Read, 1);
+        link(ctx.my_location(0), rt::AccessMode::Write, 0);
+        link(ctx.my_location(1), rt::AccessMode::Write, 0);
+        break;
+      case 2:  // col borders: reads block, publishes W-out / E-out
+        ctx.scale_hint(col_bytes, 0);
+        ctx.scale_hint(col_bytes, 1);
+        link(ctx.location(task_of(block, 0), 0), rt::AccessMode::Read, 1);
+        link(ctx.my_location(0), rt::AccessMode::Write, 0);
+        link(ctx.my_location(1), rt::AccessMode::Write, 0);
+        break;
+      case 3:  // gatherer: writes frame, reads neighbor halos
+        ctx.scale_hint(frame_bytes, 0);
+        link(ctx.my_location(0), rt::AccessMode::Write, 0);
+        if (bi > 0) {  // north block's S-out
+          link(ctx.location(task_of(block - bx, 1), 1),
+               rt::AccessMode::Read, 1);
+        }
+        if (bi + 1 < by) {  // south block's N-out
+          link(ctx.location(task_of(block + bx, 1), 0),
+               rt::AccessMode::Read, 1);
+        }
+        if (bj > 0) {  // west block's E-out
+          link(ctx.location(task_of(block - 1, 2), 1),
+               rt::AccessMode::Read, 1);
+        }
+        if (bj + 1 < bx) {  // east block's W-out
+          link(ctx.location(task_of(block + 1, 2), 0),
+               rt::AccessMode::Read, 1);
+        }
+        break;
+    }
+    ctx.schedule();
+  });
+
+  prog.run();
+  prog.dependency_get();
+  return prog.comm_matrix();
+}
+
+}  // namespace orwl::apps

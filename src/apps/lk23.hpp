@@ -1,0 +1,71 @@
+// Livermore Kernel 23: 2-D implicit hydrodynamics fragment (Sec. V-A).
+//
+//   for l:
+//     for j in [1, m):
+//       for k in [1, n):
+//         qa = za[j+1][k]*zr[j][k] + za[j-1][k]*zb[j][k]
+//            + za[j][k+1]*zu[j][k] + za[j][k-1]*zv[j][k] + zz[j][k];
+//         za[j][k] += 0.175 * (qa - za[j][k]);
+//
+// The update is Gauss–Seidel-like: north (j-1) and west (k-1) operands
+// are already-updated values of the current sweep, south and east are
+// previous-sweep values. Parallelization pipelines block waves from the
+// north-west to the south-east corner.
+//
+// This module provides:
+//  * a sequential reference,
+//  * the ORWL decomposition (one iterative task per block, halo exchange
+//    through locations — the implementation of [14] this paper reuses),
+//  * the fork-join baseline (parallel-for over each anti-diagonal of
+//    blocks — the shape of the paper's OpenMP comparison),
+//  * the 4-operations-per-task graph builder used to extract the paper's
+//    communication matrix ("Each block ... is processed by several
+//    operations: 1 for computing central block and 3 for updating
+//    borders", Sec. VI-B1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pool/thread_pool.hpp"
+#include "runtime/program.hpp"
+#include "treematch/comm_matrix.hpp"
+
+namespace orwl::apps {
+
+/// Problem coefficients; deterministic pseudo-random fill.
+struct Lk23Problem {
+  std::size_t n = 0;  ///< grid is n x n, interior [1, n-1) updated
+  std::vector<double> za;  ///< state, updated in place
+  std::vector<double> zb, zr, zu, zv, zz;  ///< coefficients (constant)
+
+  static Lk23Problem generate(std::size_t n, std::uint64_t seed = 7);
+  double& at(std::vector<double>& v, std::size_t j, std::size_t k) {
+    return v[j * n + k];
+  }
+};
+
+/// Run `iters` sweeps sequentially; mutates p.za.
+void lk23_sequential(Lk23Problem& p, std::size_t iters);
+
+/// ORWL decomposition: blocks_y x blocks_x iterative tasks exchanging
+/// halos through locations. Mutates p.za; the result is bit-identical to
+/// the sequential sweep. `prog_opts.locations_per_task` is overridden (4
+/// halo locations per task are required).
+void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,
+               std::size_t blocks_x, rt::ProgramOptions prog_opts = {});
+
+/// Fork-join baseline: per sweep, parallel-for over each anti-diagonal of
+/// blocks. Also bit-identical to the sequential sweep.
+void lk23_forkjoin(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,
+                   std::size_t blocks_x, pool::ThreadPool& pool);
+
+/// Build the communication matrix of the paper's thread decomposition
+/// (4 operation threads per block: center compute + 3 border handlers)
+/// for an n x n problem on blocks_y x blocks_x blocks. Extracted through
+/// a dry-run ORWL program, i.e. by the same dependency_get() code path a
+/// real execution uses. Thread count = 4 * blocks_y * blocks_x.
+tm::CommMatrix lk23_ops_comm_matrix(std::size_t n, std::size_t blocks_y,
+                                    std::size_t blocks_x);
+
+}  // namespace orwl::apps

@@ -1,0 +1,138 @@
+#include "apps/matmul.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "apps/dgemm.hpp"
+#include "runtime/handle.hpp"
+#include "support/rng.hpp"
+
+namespace orwl::apps {
+
+MatmulProblem MatmulProblem::generate(std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("MatmulProblem: n == 0");
+  MatmulProblem p;
+  p.n = n;
+  support::SplitMix64 rng(seed);
+  p.a.resize(n * n);
+  p.b.resize(n * n);
+  p.c.assign(n * n, 0.0);
+  for (auto& x : p.a) x = rng.uniform() - 0.5;
+  for (auto& x : p.b) x = rng.uniform() - 0.5;
+  return p;
+}
+
+void matmul_sequential(MatmulProblem& p) {
+  std::fill(p.c.begin(), p.c.end(), 0.0);
+  dgemm(p.n, p.n, p.n, p.a.data(), p.n, p.b.data(), p.n, p.c.data(), p.n);
+}
+
+namespace {
+
+/// Copy the column block [c0, c0+w) of the row-major n x n matrix src
+/// into a dense w-wide row-major buffer.
+void pack_cols(const double* src, std::size_t n, std::size_t c0,
+               std::size_t w, double* dst) {
+  for (std::size_t r = 0; r < n; ++r) {
+    std::memcpy(dst + r * w, src + r * n + c0, w * sizeof(double));
+  }
+}
+
+}  // namespace
+
+void matmul_orwl(MatmulProblem& p, std::size_t tasks,
+                 rt::ProgramOptions prog_opts) {
+  const std::size_t n = p.n;
+  if (tasks == 0 || n % tasks != 0) {
+    throw std::invalid_argument(
+        "matmul_orwl: n must be a positive multiple of tasks");
+  }
+  const std::size_t nb = n / tasks;             // rows / cols per block
+  const std::size_t slot_bytes = n * nb * sizeof(double);
+
+  std::fill(p.c.begin(), p.c.end(), 0.0);
+  prog_opts.locations_per_task = 1;
+  rt::Program prog(tasks, prog_opts);
+
+  prog.set_task_body([&, n, nb, tasks](rt::TaskContext& ctx) {
+    const std::size_t t = ctx.id();
+    ctx.scale(slot_bytes);
+
+    // Own slot circulates B column blocks: written by me (priority 0),
+    // read by my ring predecessor (priority 1).
+    rt::Handle2 own;
+    rt::Handle2 next;
+    own.write_insert(ctx, ctx.my_location(), 0);
+    if (tasks > 1) {
+      next.read_insert(ctx, ctx.location((t + 1) % tasks), 1);
+    }
+
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+
+    // Initial content: B column block t, packed dense.
+    std::vector<double> cur(n * nb);
+    pack_cols(p.b.data(), n, t * nb, nb, cur.data());
+    std::vector<double> incoming(n * nb);
+
+    const double* a_rows = p.a.data() + t * nb * n;  // my A row block
+    for (std::size_t phase = 0; phase < tasks; ++phase) {
+      // Compute C(rows t, cols (t+phase) mod tasks) = A_rows * cur.
+      const std::size_t cb = (t + phase) % tasks;
+      dgemm(nb, nb, n, a_rows, n, cur.data(), nb,
+            p.c.data() + t * nb * n + cb * nb, n);
+
+      if (phase + 1 == tasks || tasks == 1) break;
+      // Circulate: publish my block, take my successor's.
+      {
+        rt::Section sec(own);
+        std::memcpy(sec.write_map().data(), cur.data(), slot_bytes);
+      }
+      {
+        rt::Section sec(next);
+        std::memcpy(incoming.data(), sec.read_map().data(), slot_bytes);
+      }
+      cur.swap(incoming);
+    }
+  });
+
+  prog.run();
+}
+
+void matmul_forkjoin(MatmulProblem& p, pool::ThreadPool& pool) {
+  std::fill(p.c.begin(), p.c.end(), 0.0);
+  const std::size_t n = p.n;
+  pool.parallel_chunks(0, n, [&](std::size_t, std::size_t r0,
+                                 std::size_t r1) {
+    dgemm(r1 - r0, n, n, p.a.data() + r0 * n, n, p.b.data(), n,
+          p.c.data() + r0 * n, n);
+  });
+}
+
+tm::CommMatrix matmul_comm_matrix(std::size_t n, std::size_t tasks) {
+  if (tasks == 0 || n % tasks != 0) {
+    throw std::invalid_argument(
+        "matmul_comm_matrix: n must be a positive multiple of tasks");
+  }
+  rt::ProgramOptions opts;
+  opts.dry_run = true;
+  opts.affinity = rt::AffinityMode::Off;
+  opts.control_threads = 0;
+  rt::Program prog(tasks, opts);
+  const std::size_t nb = n / tasks;
+  prog.set_task_body([&, tasks, nb](rt::TaskContext& ctx) {
+    ctx.scale_hint(nb * n * sizeof(double));
+    rt::Handle2 own;
+    rt::Handle2 next;
+    own.write_insert(ctx, ctx.my_location(), 0);
+    if (tasks > 1) {
+      next.read_insert(ctx, ctx.location((ctx.id() + 1) % tasks), 1);
+    }
+    ctx.schedule();
+  });
+  prog.run();
+  prog.dependency_get();
+  return prog.comm_matrix();
+}
+
+}  // namespace orwl::apps

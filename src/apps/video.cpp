@@ -1,0 +1,559 @@
+#include "apps/video.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "apps/image.hpp"
+#include "runtime/fifo.hpp"
+#include "runtime/handle.hpp"
+#include "runtime/split.hpp"
+
+namespace orwl::apps {
+
+VideoParams video_hd() {
+  VideoParams p;
+  p.width = 1280;
+  p.height = 720;
+  return p;
+}
+VideoParams video_full_hd() {
+  VideoParams p;
+  p.width = 1920;
+  p.height = 1080;
+  return p;
+}
+VideoParams video_4k() {
+  VideoParams p;
+  p.width = 3840;
+  p.height = 2160;
+  return p;
+}
+
+namespace {
+
+using rt::Handle2;
+using rt::Section;
+using rt::split_range;
+
+// ---------------------- location serialization PODs ----------------------
+
+constexpr std::size_t kMaxBandComponents = 1024;
+constexpr std::size_t kMaxDetections = 256;
+constexpr std::size_t kMaxTracks = 256;
+
+struct CompRecord {
+  std::int64_t area;
+  double sum_x, sum_y;
+  std::int32_t min_x, max_x, min_y, max_y;
+};
+static_assert(std::is_trivially_copyable_v<CompRecord>);
+
+struct CclBandHeader {
+  std::int32_t num_components;
+  std::int32_t row_begin;
+  std::int32_t row_end;
+  std::int32_t pad;
+};
+static_assert(std::is_trivially_copyable_v<CclBandHeader>);
+
+std::size_t ccl_band_bytes(std::size_t width) {
+  return sizeof(CclBandHeader) + kMaxBandComponents * sizeof(CompRecord) +
+         2 * width * sizeof(std::int32_t);
+}
+
+void serialize_band(const BandLabeling& band, std::size_t width,
+                    std::byte* out) {
+  if (band.comps.size() > kMaxBandComponents) {
+    throw std::runtime_error("video: too many components in one band");
+  }
+  CclBandHeader hdr{static_cast<std::int32_t>(band.comps.size()),
+                    static_cast<std::int32_t>(band.row_begin),
+                    static_cast<std::int32_t>(band.row_end), 0};
+  std::memcpy(out, &hdr, sizeof hdr);
+  std::byte* p = out + sizeof hdr;
+  for (const Component& c : band.comps) {
+    const CompRecord rec{c.area,  c.sum_x, c.sum_y, c.min_x,
+                         c.max_x, c.min_y, c.max_y};
+    std::memcpy(p, &rec, sizeof rec);
+    p += sizeof rec;
+  }
+  p = out + sizeof hdr + kMaxBandComponents * sizeof(CompRecord);
+  std::memcpy(p, band.top_ids.data(), width * sizeof(std::int32_t));
+  std::memcpy(p + width * sizeof(std::int32_t), band.bottom_ids.data(),
+              width * sizeof(std::int32_t));
+}
+
+BandLabeling deserialize_band(const std::byte* in, std::size_t width) {
+  CclBandHeader hdr;
+  std::memcpy(&hdr, in, sizeof hdr);
+  BandLabeling band;
+  band.row_begin = static_cast<std::size_t>(hdr.row_begin);
+  band.row_end = static_cast<std::size_t>(hdr.row_end);
+  const std::byte* p = in + sizeof hdr;
+  band.comps.resize(static_cast<std::size_t>(hdr.num_components));
+  for (auto& c : band.comps) {
+    CompRecord rec;
+    std::memcpy(&rec, p, sizeof rec);
+    p += sizeof rec;
+    c.area = rec.area;
+    c.sum_x = rec.sum_x;
+    c.sum_y = rec.sum_y;
+    c.min_x = rec.min_x;
+    c.max_x = rec.max_x;
+    c.min_y = rec.min_y;
+    c.max_y = rec.max_y;
+  }
+  p = in + sizeof hdr + kMaxBandComponents * sizeof(CompRecord);
+  band.top_ids.resize(width);
+  band.bottom_ids.resize(width);
+  std::memcpy(band.top_ids.data(), p, width * sizeof(std::int32_t));
+  std::memcpy(band.bottom_ids.data(), p + width * sizeof(std::int32_t),
+              width * sizeof(std::int32_t));
+  return band;
+}
+
+struct DetectionBlock {
+  std::int32_t count;
+  std::int32_t pad;
+  struct Det {
+    double x, y;
+    std::int64_t area;
+  } dets[kMaxDetections];
+};
+static_assert(std::is_trivially_copyable_v<DetectionBlock>);
+
+struct TrackBlock {
+  std::int32_t num_tracks;
+  std::int32_t num_detections;
+  std::int32_t tracks_created;
+  std::int32_t pad;
+  struct Rec {
+    std::int32_t id;
+    std::int32_t age;
+    double x, y;
+  } tracks[kMaxTracks];
+};
+static_assert(std::is_trivially_copyable_v<TrackBlock>);
+
+// ------------------------------- stages -----------------------------------
+
+std::vector<std::array<double, 2>> detections_to_centroids(
+    const std::vector<Component>& comps) {
+  std::vector<std::array<double, 2>> out;
+  out.reserve(comps.size());
+  for (const auto& c : comps) out.push_back({c.cx(), c.cy()});
+  return out;
+}
+
+void fill_result_from_track_block(const TrackBlock& tb, VideoResult& res) {
+  res.total_detections += static_cast<std::size_t>(tb.num_detections);
+  res.detections_per_frame.push_back(tb.num_detections);
+  res.final_track_count = static_cast<std::size_t>(tb.num_tracks);
+  res.total_tracks_created = static_cast<std::size_t>(tb.tracks_created);
+  res.final_track_positions.clear();
+  for (std::int32_t i = 0; i < tb.num_tracks; ++i) {
+    res.final_track_positions.push_back({tb.tracks[i].x, tb.tracks[i].y});
+  }
+}
+
+}  // namespace
+
+// ------------------------------ sequential --------------------------------
+
+VideoResult video_sequential(const VideoParams& params) {
+  const std::size_t w = params.width;
+  const std::size_t h = params.height;
+  const Scene scene = Scene::demo(w, h, params.objects, params.seed);
+  BackgroundModel model;
+  model.init(w, h);
+  Tracker tracker;
+
+  std::vector<Pixel> frame(w * h), mask(w * h), eroded(w * h);
+  std::vector<Pixel> dil_a(w * h), dil_b(w * h);
+
+  VideoResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t f = 0; f < params.frames; ++f) {
+    scene.render(f, frame.data());
+    model.process_rows(frame.data(), mask.data(), 0, h);
+    erode3x3(mask.data(), eroded.data(), w, h);
+    const Pixel* cur = eroded.data();
+    for (std::size_t d = 0; d < params.dilates; ++d) {
+      Pixel* out = (d % 2 == 0) ? dil_a.data() : dil_b.data();
+      dilate3x3(cur, out, w, h);
+      cur = out;
+    }
+    const auto comps = connected_components(cur, w, h, params.min_area);
+    tracker.update(detections_to_centroids(comps));
+
+    res.total_detections += comps.size();
+    res.detections_per_frame.push_back(static_cast<int>(comps.size()));
+  }
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  res.frames = params.frames;
+  res.final_track_count = tracker.tracks().size();
+  res.total_tracks_created =
+      static_cast<std::size_t>(tracker.total_tracks_created());
+  for (const auto& t : tracker.tracks()) {
+    res.final_track_positions.push_back({t.x, t.y});
+  }
+  return res;
+}
+
+// --------------------------------- ORWL -----------------------------------
+
+namespace {
+
+/// Builds and runs the ORWL video program. With opts.dry_run the bodies
+/// return right after schedule() and only the graph is produced.
+void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
+                       VideoResult* result, tm::CommMatrix* matrix) {
+  const std::size_t w = params.width;
+  const std::size_t h = params.height;
+  const std::size_t frame_bytes = w * h;
+  const std::size_t frames = params.frames;
+  const Scene scene = Scene::demo(w, h, params.objects, params.seed);
+
+  opts.locations_per_task = 2;
+  rt::Program prog(params.num_tasks(), opts);
+
+  // ---- producer --------------------------------------------------------
+  prog.set_task_body(params.producer_task(), [&](rt::TaskContext& ctx) {
+    rt::FifoProducer out;
+    out.link(ctx, params.producer_task(), 0, 2, frame_bytes);
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+    for (std::size_t f = 0; f < frames; ++f) {
+      auto buf = out.begin_push();
+      scene.render(f, reinterpret_cast<Pixel*>(buf.data()));
+      out.end_push();
+    }
+  });
+
+  // ---- gmm splits --------------------------------------------------------
+  for (std::size_t g = 0; g < params.gmm_splits; ++g) {
+    prog.set_task_body(params.gmm_split_task(g), [&, g](rt::TaskContext& ctx) {
+      const auto band = split_range(h, params.gmm_splits, g);
+      const std::size_t band_bytes = band.size() * w;
+      ctx.scale(band_bytes, 0);
+      rt::FifoConsumer frames_in;
+      frames_in.link(ctx, params.producer_task(), 0, 2);
+      Handle2 band_out;
+      band_out.write_insert(ctx, ctx.my_location(0), 0);
+      ctx.schedule();
+      if (ctx.dry_run()) return;
+
+      BackgroundModel model;  // private band state
+      model.init(w, h);
+      std::vector<Pixel> mask(w * h);  // only band rows are touched
+      for (std::size_t f = 0; f < frames; ++f) {
+        auto in = frames_in.begin_pop();
+        model.process_rows(reinterpret_cast<const Pixel*>(in.data()),
+                           mask.data(), band.begin, band.end);
+        frames_in.end_pop();
+        Section sec(band_out);
+        std::memcpy(sec.write_map().data(), mask.data() + band.begin * w,
+                    band_bytes);
+      }
+    });
+  }
+
+  // ---- gmm merge ---------------------------------------------------------
+  prog.set_task_body(params.gmm_task(), [&](rt::TaskContext& ctx) {
+    ctx.scale(frame_bytes, 0);
+    Handle2 mask_out;
+    mask_out.write_insert(ctx, ctx.my_location(0), 0);
+    std::vector<std::unique_ptr<Handle2>> bands_in;
+    for (std::size_t g = 0; g < params.gmm_splits; ++g) {
+      bands_in.push_back(std::make_unique<Handle2>());
+      bands_in.back()->read_insert(
+          ctx, ctx.location(params.gmm_split_task(g), 0), 1);
+    }
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+
+    for (std::size_t f = 0; f < frames; ++f) {
+      Section out(mask_out);
+      std::byte* mask = out.write_map().data();
+      for (std::size_t g = 0; g < params.gmm_splits; ++g) {
+        const auto band = split_range(h, params.gmm_splits, g);
+        Section in(*bands_in[g]);
+        std::memcpy(mask + band.begin * w, in.read_map().data(),
+                    band.size() * w);
+      }
+    }
+  });
+
+  // ---- erode -------------------------------------------------------------
+  prog.set_task_body(params.erode_task(), [&](rt::TaskContext& ctx) {
+    ctx.scale(frame_bytes, 0);
+    Handle2 in;
+    Handle2 out;
+    in.read_insert(ctx, ctx.location(params.gmm_task(), 0), 1);
+    out.write_insert(ctx, ctx.my_location(0), 0);
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+    for (std::size_t f = 0; f < frames; ++f) {
+      Section sin(in);
+      Section sout(out);
+      erode3x3(reinterpret_cast<const Pixel*>(sin.read_map().data()),
+               reinterpret_cast<Pixel*>(sout.write_map().data()), w, h);
+    }
+  });
+
+  // ---- dilate chain --------------------------------------------------------
+  for (std::size_t d = 0; d < params.dilates; ++d) {
+    prog.set_task_body(params.dilate_task(d), [&, d](rt::TaskContext& ctx) {
+      ctx.scale(frame_bytes, 0);
+      const std::size_t prev_task =
+          d == 0 ? params.erode_task() : params.dilate_task(d - 1);
+      Handle2 in;
+      Handle2 out;
+      in.read_insert(ctx, ctx.location(prev_task, 0), 1);
+      out.write_insert(ctx, ctx.my_location(0), 0);
+      ctx.schedule();
+      if (ctx.dry_run()) return;
+      for (std::size_t f = 0; f < frames; ++f) {
+        Section sin(in);
+        Section sout(out);
+        dilate3x3(reinterpret_cast<const Pixel*>(sin.read_map().data()),
+                  reinterpret_cast<Pixel*>(sout.write_map().data()), w, h);
+      }
+    });
+  }
+
+  // ---- ccl splits -----------------------------------------------------------
+  const std::size_t last_dilate = params.dilate_task(params.dilates - 1);
+  for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+    prog.set_task_body(params.ccl_split_task(c), [&, c](rt::TaskContext& ctx) {
+      const auto band = split_range(h, params.ccl_splits, c);
+      ctx.scale(ccl_band_bytes(w), 0);
+      Handle2 in;
+      Handle2 out;
+      in.read_insert(ctx, ctx.location(last_dilate, 0), 1);
+      out.write_insert(ctx, ctx.my_location(0), 0);
+      ctx.schedule();
+      if (ctx.dry_run()) return;
+      for (std::size_t f = 0; f < frames; ++f) {
+        BandLabeling labeled;
+        {
+          Section sin(in);
+          labeled = label_band(
+              reinterpret_cast<const Pixel*>(sin.read_map().data()), w,
+              band.begin, band.end);
+        }
+        Section sout(out);
+        serialize_band(labeled, w, sout.write_map().data());
+      }
+    });
+  }
+
+  // ---- ccl merge ---------------------------------------------------------
+  prog.set_task_body(params.ccl_task(), [&](rt::TaskContext& ctx) {
+    ctx.scale(sizeof(DetectionBlock), 0);
+    std::vector<std::unique_ptr<Handle2>> bands_in;
+    for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+      bands_in.push_back(std::make_unique<Handle2>());
+      bands_in.back()->read_insert(
+          ctx, ctx.location(params.ccl_split_task(c), 0), 1);
+    }
+    Handle2 out;
+    out.write_insert(ctx, ctx.my_location(0), 0);
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+
+    for (std::size_t f = 0; f < frames; ++f) {
+      std::vector<BandLabeling> bands;
+      for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+        Section sin(*bands_in[c]);
+        bands.push_back(deserialize_band(sin.read_map().data(), w));
+      }
+      const auto comps = merge_bands(bands, w, params.min_area);
+      if (comps.size() > kMaxDetections) {
+        throw std::runtime_error("video: too many detections");
+      }
+      Section sout(out);
+      auto* blk = reinterpret_cast<DetectionBlock*>(sout.write_map().data());
+      blk->count = static_cast<std::int32_t>(comps.size());
+      for (std::size_t i = 0; i < comps.size(); ++i) {
+        blk->dets[i] = {comps[i].cx(), comps[i].cy(), comps[i].area};
+      }
+    }
+  });
+
+  // ---- tracking ------------------------------------------------------------
+  prog.set_task_body(params.tracking_task(), [&](rt::TaskContext& ctx) {
+    ctx.scale(sizeof(TrackBlock), 0);
+    Handle2 in;
+    Handle2 out;
+    in.read_insert(ctx, ctx.location(params.ccl_task(), 0), 1);
+    out.write_insert(ctx, ctx.my_location(0), 0);
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+
+    Tracker tracker;
+    for (std::size_t f = 0; f < frames; ++f) {
+      std::vector<std::array<double, 2>> dets;
+      std::int32_t ndet = 0;
+      {
+        Section sin(in);
+        const auto* blk =
+            reinterpret_cast<const DetectionBlock*>(sin.read_map().data());
+        ndet = blk->count;
+        for (std::int32_t i = 0; i < blk->count; ++i) {
+          dets.push_back({blk->dets[i].x, blk->dets[i].y});
+        }
+      }
+      tracker.update(dets);
+      Section sout(out);
+      auto* blk = reinterpret_cast<TrackBlock*>(sout.write_map().data());
+      blk->num_detections = ndet;
+      blk->num_tracks =
+          static_cast<std::int32_t>(tracker.tracks().size());
+      blk->tracks_created = tracker.total_tracks_created();
+      for (std::size_t i = 0; i < tracker.tracks().size() && i < kMaxTracks;
+           ++i) {
+        const Track& t = tracker.tracks()[i];
+        blk->tracks[i] = {t.id, t.age, t.x, t.y};
+      }
+    }
+  });
+
+  // ---- consumer -------------------------------------------------------------
+  prog.set_task_body(params.consumer_task(), [&](rt::TaskContext& ctx) {
+    Handle2 in;
+    in.read_insert(ctx, ctx.location(params.tracking_task(), 0), 1);
+    ctx.schedule();
+    if (ctx.dry_run()) return;
+    for (std::size_t f = 0; f < frames; ++f) {
+      Section sin(in);
+      if (result != nullptr) {
+        const auto* blk =
+            reinterpret_cast<const TrackBlock*>(sin.read_map().data());
+        fill_result_from_track_block(*blk, *result);
+      }
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  prog.run();
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  if (result != nullptr) {
+    result->frames = frames;
+    result->seconds = secs;
+  }
+  if (matrix != nullptr) {
+    prog.dependency_get();
+    *matrix = prog.comm_matrix();
+  }
+}
+
+}  // namespace
+
+VideoResult video_orwl(const VideoParams& params,
+                       rt::ProgramOptions prog_opts) {
+  VideoResult res;
+  run_video_program(params, prog_opts, &res, nullptr);
+  return res;
+}
+
+tm::CommMatrix video_comm_matrix(const VideoParams& params) {
+  rt::ProgramOptions opts;
+  opts.dry_run = true;
+  opts.affinity = rt::AffinityMode::Off;
+  opts.control_threads = 0;
+  tm::CommMatrix m;
+  run_video_program(params, opts, nullptr, &m);
+  return m;
+}
+
+std::vector<std::string> video_task_names(const VideoParams& params) {
+  std::vector<std::string> names(params.num_tasks());
+  names[params.producer_task()] = "producer";
+  names[params.gmm_task()] = "gmm";
+  names[params.erode_task()] = "erode";
+  for (std::size_t d = 0; d < params.dilates; ++d) {
+    names[params.dilate_task(d)] = "dilate";
+  }
+  names[params.ccl_task()] = "ccl";
+  names[params.tracking_task()] = "tracking";
+  names[params.consumer_task()] = "consumer";
+  for (std::size_t g = 0; g < params.gmm_splits; ++g) {
+    names[params.gmm_split_task(g)] = "gmm split";
+  }
+  for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+    names[params.ccl_split_task(c)] = "ccl split";
+  }
+  return names;
+}
+
+// ------------------------------ fork-join ---------------------------------
+
+VideoResult video_forkjoin(const VideoParams& params,
+                           pool::ThreadPool& pool) {
+  const std::size_t w = params.width;
+  const std::size_t h = params.height;
+  const Scene scene = Scene::demo(w, h, params.objects, params.seed);
+  BackgroundModel model;
+  model.init(w, h);
+  Tracker tracker;
+
+  std::vector<Pixel> frame(w * h), mask(w * h), eroded(w * h);
+  std::vector<Pixel> dil_a(w * h), dil_b(w * h);
+
+  VideoResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t f = 0; f < params.frames; ++f) {
+    scene.render(f, frame.data());
+    // Stage 1: background model, fork-join over row chunks.
+    pool.parallel_chunks(0, h, [&](std::size_t, std::size_t r0,
+                                   std::size_t r1) {
+      model.process_rows(frame.data(), mask.data(), r0, r1);
+    });
+    // Stage 2: erode.
+    pool.parallel_chunks(0, h, [&](std::size_t, std::size_t r0,
+                                   std::size_t r1) {
+      erode3x3_rows(mask.data(), eroded.data(), w, h, r0, r1);
+    });
+    // Stage 3: dilate chain.
+    const Pixel* cur = eroded.data();
+    for (std::size_t d = 0; d < params.dilates; ++d) {
+      Pixel* out = (d % 2 == 0) ? dil_a.data() : dil_b.data();
+      pool.parallel_chunks(0, h, [&](std::size_t, std::size_t r0,
+                                     std::size_t r1) {
+        dilate3x3_rows(cur, out, w, h, r0, r1);
+      });
+      cur = out;
+    }
+    // Stage 4: CCL, banded in parallel then merged.
+    std::vector<BandLabeling> bands(params.ccl_splits);
+    pool.parallel_for(0, params.ccl_splits, [&](std::size_t c) {
+      const auto band = split_range(h, params.ccl_splits, c);
+      bands[c] = label_band(cur, w, band.begin, band.end);
+    });
+    const auto comps = merge_bands(bands, w, params.min_area);
+    // Stage 5: tracking (sequential).
+    tracker.update(detections_to_centroids(comps));
+
+    res.total_detections += comps.size();
+    res.detections_per_frame.push_back(static_cast<int>(comps.size()));
+  }
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  res.frames = params.frames;
+  res.final_track_count = tracker.tracks().size();
+  res.total_tracks_created =
+      static_cast<std::size_t>(tracker.total_tracks_created());
+  for (const auto& t : tracker.tracks()) {
+    res.final_track_positions.push_back({t.x, t.y});
+  }
+  return res;
+}
+
+}  // namespace orwl::apps

@@ -1,0 +1,121 @@
+#include "pool/thread_pool.hpp"
+
+#include "topo/binding.hpp"
+#include "topo/cpuset.hpp"
+#include "topo/detect.hpp"
+
+namespace orwl::pool {
+
+ThreadPool::ThreadPool(std::size_t num_threads, PoolOptions opts)
+    : strategy_(opts.strategy) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  const topo::Topology* topology = opts.topology;
+  if (topology == nullptr) {
+    owned_topology_ = topo::detect_host();
+    topology = &owned_topology_;
+  }
+
+  bindings_.assign(num_threads, -1);
+  if (strategy_ != tm::Strategy::None) {
+    const tm::Placement p =
+        tm::place_strategy(strategy_, *topology, num_threads);
+    bindings_ = p.compute_pu;
+  }
+
+  // Bind the master (thread 0).
+  if (opts.bind_threads && bindings_[0] >= 0) {
+    if (!topo::bind_current_thread(topo::CpuSet::single(bindings_[0]))) {
+      bindings_[0] = -1;
+    }
+  }
+
+  workers_.reserve(num_threads - 1);
+  for (std::size_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+    if (opts.bind_threads && bindings_[w] >= 0) {
+      if (!topo::bind_thread(workers_.back().native_handle(),
+                             topo::CpuSet::single(bindings_[w]))) {
+        bindings_[w] = -1;
+      }
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    std::function<void(std::size_t)> job;
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    job(worker_index);
+    {
+      std::unique_lock lock(mu_);
+      if (--working_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_region(const std::function<void(std::size_t)>& fn) {
+  {
+    std::unique_lock lock(mu_);
+    job_ = fn;
+    working_ = workers_.size();
+    ++generation_;
+    ++regions_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // master participates
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return working_ == 0; });
+}
+
+void ThreadPool::parallel(const std::function<void(std::size_t)>& fn) {
+  run_region(fn);
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t total = end - begin;
+  const std::size_t nthreads = size();
+  run_region([&, begin, total, nthreads](std::size_t tid) {
+    // OpenMP static schedule: near-equal contiguous chunks.
+    const std::size_t base = total / nthreads;
+    const std::size_t extra = total % nthreads;
+    const std::size_t b =
+        begin + tid * base + std::min<std::size_t>(tid, extra);
+    const std::size_t len = base + (tid < extra ? 1 : 0);
+    if (len > 0) fn(tid, b, b + len);
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(begin, end,
+                  [&](std::size_t, std::size_t b, std::size_t e) {
+                    for (std::size_t i = b; i < e; ++i) fn(i);
+                  });
+}
+
+}  // namespace orwl::pool

@@ -1,0 +1,84 @@
+// Fork-join thread pool with OpenMP-style binding strategies.
+//
+// This is the reproduction's stand-in for the paper's OpenMP baselines:
+// "#pragma parallel for directives with static scheduling of chunks over
+// the threads" (Sec. VI-B1), combined with the binding strategies of
+// OMP_PLACES / OMP_PROC_BIND / KMP_AFFINITY. The pool spawns its workers
+// once, binds them according to a tm::Strategy, and then runs
+// parallel-for regions with static chunking — the same execution shape a
+// vendor OpenMP runtime gives those programs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "treematch/strategies.hpp"
+
+namespace orwl::pool {
+
+struct PoolOptions {
+  /// Binding strategy for the workers (None = leave to the OS).
+  tm::Strategy strategy = tm::Strategy::None;
+
+  /// Topology to bind on; null => detect the host. Must outlive the pool.
+  const topo::Topology* topology = nullptr;
+
+  /// When false, placements are computed but not applied (for tests).
+  bool bind_threads = true;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads, PoolOptions opts = {});
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// OpenMP "parallel for schedule(static)": iterate fn over [begin, end)
+  /// with each thread working one contiguous chunk. Blocks until done.
+  /// The calling thread participates as thread 0 (like an OpenMP master).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(thread_id, chunk_begin, chunk_end).
+  void parallel_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// OpenMP "parallel": run fn(thread_id) once on every thread.
+  void parallel(const std::function<void(std::size_t)>& fn);
+
+  /// PU os-index each thread is bound to (-1 = unbound). Entry 0 is the
+  /// master (calling) thread.
+  const std::vector<int>& bindings() const noexcept { return bindings_; }
+
+  /// Number of parallel regions executed (fork-join count, for stats).
+  std::uint64_t regions() const noexcept { return regions_; }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_region(const std::function<void(std::size_t)>& per_thread);
+
+  std::vector<std::thread> workers_;
+  std::vector<int> bindings_;
+  topo::Topology owned_topology_;
+  tm::Strategy strategy_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::function<void(std::size_t)> job_;
+  std::size_t generation_ = 0;
+  std::size_t working_ = 0;
+  bool stopping_ = false;
+  std::uint64_t regions_ = 0;
+};
+
+}  // namespace orwl::pool

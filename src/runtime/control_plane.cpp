@@ -1,0 +1,95 @@
+#include "runtime/control_plane.hpp"
+
+#include "runtime/request_queue.hpp"
+#include "topo/binding.hpp"
+#include "topo/cpuset.hpp"
+
+namespace orwl::rt {
+
+ControlPlane::ControlPlane(std::size_t nthreads) : num_threads_(nthreads) {}
+
+ControlPlane::~ControlPlane() { stop(); }
+
+void ControlPlane::start() {
+  if (num_threads_ == 0 || running_) return;
+  {
+    std::unique_lock lock(mu_);
+    stopping_ = false;
+  }
+  threads_.reserve(num_threads_);
+  for (std::size_t i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  running_ = true;
+}
+
+void ControlPlane::stop() {
+  if (!running_) return;
+  // Flip running_ first: new releases fall back to inline grants, so no
+  // event posted after this point is lost.
+  running_ = false;
+  {
+    std::unique_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  // Drain any leftover events inline so no waiter stays ungranted.
+  std::deque<RequestQueue*> leftovers;
+  {
+    std::unique_lock lock(mu_);
+    leftovers.swap(events_);
+  }
+  for (RequestQueue* q : leftovers) q->grant_from_control();
+}
+
+void ControlPlane::post(RequestQueue* q) {
+  {
+    std::unique_lock lock(mu_);
+    if (stopping_) {
+      // Late event during shutdown: grant inline.
+      lock.unlock();
+      q->grant_from_control();
+      return;
+    }
+    events_.push_back(q);
+  }
+  cv_.notify_one();
+}
+
+void ControlPlane::worker_loop() {
+  for (;;) {
+    RequestQueue* q = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !events_.empty(); });
+      if (events_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      q = events_.front();
+      events_.pop_front();
+    }
+    q->grant_from_control();
+    events_processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ControlPlane::bind_threads(const std::vector<int>& pus) {
+  if (pus.empty()) return 0;
+  std::size_t bound = 0;
+  for (std::size_t j = 0; j < threads_.size(); ++j) {
+    const int pu = pus[j % pus.size()];
+    if (pu < 0) continue;
+    if (topo::bind_thread(threads_[j].native_handle(),
+                          topo::CpuSet::single(pu))) {
+      ++bound;
+    }
+  }
+  return bound;
+}
+
+}  // namespace orwl::rt

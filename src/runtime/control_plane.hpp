@@ -1,0 +1,67 @@
+// Control threads of the ORWL runtime.
+//
+// "the ORWL runtime additionally deploys control threads and a lock
+// mechanism that manage lock synchronization and data transfer. These
+// control threads freeze and thaw processing threads of concurrent tasks
+// according to the availability of resources." (Sec. IV-A)
+//
+// The control plane is an event queue served by dedicated OS threads:
+// every lock release posts a hand-off event; a control thread pops it and
+// performs the grant + wake-up of the next requester. These are the
+// threads Algorithm 1 places on hyperthread siblings or spare cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orwl::rt {
+
+class RequestQueue;
+
+class ControlPlane {
+ public:
+  /// Create with `nthreads` control threads (0 => inline grants, no
+  /// threads). Threads are started by start().
+  explicit ControlPlane(std::size_t nthreads);
+  ~ControlPlane();
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  void start();
+  void stop();
+
+  std::size_t num_threads() const noexcept { return num_threads_; }
+  bool running() const noexcept { return running_; }
+
+  /// Post a grant hand-off event for the given queue.
+  /// Must only be called while running (RequestQueue guards this).
+  void post(RequestQueue* q);
+
+  /// Bind control thread j to pus[j % pus.size()] (entries of -1 skip).
+  /// Returns the number of threads successfully bound.
+  std::size_t bind_threads(const std::vector<int>& pus);
+
+  /// Total events processed (for tests and counter reporting).
+  std::uint64_t events_processed() const noexcept {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  const std::size_t num_threads_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RequestQueue*> events_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> events_processed_{0};
+};
+
+}  // namespace orwl::rt

@@ -1,0 +1,73 @@
+#include "runtime/fifo.hpp"
+
+#include <stdexcept>
+
+namespace orwl::rt {
+
+void FifoProducer::link(TaskContext& ctx, TaskId owner,
+                        std::size_t first_slot, std::size_t depth,
+                        std::size_t bytes) {
+  if (depth < 2) {
+    throw std::invalid_argument("FifoProducer: depth must be >= 2");
+  }
+  if (!handles_.empty()) {
+    throw std::logic_error("FifoProducer: already linked");
+  }
+  for (std::size_t s = 0; s < depth; ++s) {
+    Location& loc = ctx.location(owner, first_slot + s);
+    if (ctx.id() == owner) loc.scale(bytes);
+    auto h = std::make_unique<Handle2>();
+    h->write_insert(ctx, loc, /*priority=*/0);
+    handles_.push_back(std::move(h));
+  }
+}
+
+std::span<std::byte> FifoProducer::begin_push() {
+  if (handles_.empty()) throw std::logic_error("FifoProducer: not linked");
+  if (open_) throw std::logic_error("FifoProducer: push already open");
+  handles_[next_]->acquire();
+  open_ = true;
+  return handles_[next_]->write_map();
+}
+
+void FifoProducer::end_push() {
+  if (!open_) throw std::logic_error("FifoProducer: no open push");
+  handles_[next_]->release();
+  open_ = false;
+  next_ = (next_ + 1) % handles_.size();
+  ++pushed_;
+}
+
+void FifoConsumer::link(TaskContext& ctx, TaskId owner,
+                        std::size_t first_slot, std::size_t depth) {
+  if (depth < 2) {
+    throw std::invalid_argument("FifoConsumer: depth must be >= 2");
+  }
+  if (!handles_.empty()) {
+    throw std::logic_error("FifoConsumer: already linked");
+  }
+  for (std::size_t s = 0; s < depth; ++s) {
+    Location& loc = ctx.location(owner, first_slot + s);
+    auto h = std::make_unique<Handle2>();
+    h->read_insert(ctx, loc, /*priority=*/1);
+    handles_.push_back(std::move(h));
+  }
+}
+
+std::span<const std::byte> FifoConsumer::begin_pop() {
+  if (handles_.empty()) throw std::logic_error("FifoConsumer: not linked");
+  if (open_) throw std::logic_error("FifoConsumer: pop already open");
+  handles_[next_]->acquire();
+  open_ = true;
+  return handles_[next_]->read_map();
+}
+
+void FifoConsumer::end_pop() {
+  if (!open_) throw std::logic_error("FifoConsumer: no open pop");
+  handles_[next_]->release();
+  open_ = false;
+  next_ = (next_ + 1) % handles_.size();
+  ++popped_;
+}
+
+}  // namespace orwl::rt

@@ -1,0 +1,68 @@
+// The orwl_fifo primitive: a single-producer / single-consumer buffered
+// channel built from locations and iterative handles.
+//
+// "An orwl_fifo primitive is used to store a new version of output data
+// intermediately such that the lock for other readers/writers can quickly
+// be released." (Sec. V-C)
+//
+// Implementation: `depth` consecutive locations of the producer task act
+// as a ring of versioned buffers. The producer holds a write Handle2 on
+// every slot (priority 0), the consumer a read Handle2 (priority 1); the
+// per-slot FIFO alternation then allows the producer to run up to
+// `depth - 1` items ahead of the consumer without blocking.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/handle.hpp"
+
+namespace orwl::rt {
+
+class FifoProducer {
+ public:
+  /// Link (and scale, when the calling task owns the slots) the channel's
+  /// backing locations: slots [first_slot, first_slot + depth) of task
+  /// `owner`, each `bytes` large. Call during the init phase.
+  void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
+            std::size_t depth, std::size_t bytes);
+
+  /// Acquire the next slot for writing; returns the buffer to fill.
+  std::span<std::byte> begin_push();
+
+  /// Publish the slot written since begin_push().
+  void end_push();
+
+  std::size_t depth() const noexcept { return handles_.size(); }
+  std::uint64_t pushed() const noexcept { return pushed_; }
+
+ private:
+  std::vector<std::unique_ptr<Handle2>> handles_;
+  std::size_t next_ = 0;
+  bool open_ = false;
+  std::uint64_t pushed_ = 0;
+};
+
+class FifoConsumer {
+ public:
+  /// Link read handles on the channel's backing locations.
+  void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
+            std::size_t depth);
+
+  /// Acquire the next item for reading.
+  std::span<const std::byte> begin_pop();
+
+  /// Release the slot read since begin_pop().
+  void end_pop();
+
+  std::size_t depth() const noexcept { return handles_.size(); }
+  std::uint64_t popped() const noexcept { return popped_; }
+
+ private:
+  std::vector<std::unique_ptr<Handle2>> handles_;
+  std::size_t next_ = 0;
+  bool open_ = false;
+  std::uint64_t popped_ = 0;
+};
+
+}  // namespace orwl::rt

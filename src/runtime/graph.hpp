@@ -1,0 +1,44 @@
+// The task-location access graph.
+//
+// This is the structural information the affinity module extracts: which
+// task accesses which location in which mode, and how large each location
+// is. "The ORWL programming model exposes all the required pieces of
+// information: the tasks, the amount of data they share or exchange (i.e
+// the location) and their connectivity (i.e. the location they share)."
+// (Sec. IV-A)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace orwl::rt {
+
+struct Access {
+  TaskId task;
+  AccessMode mode;
+  std::uint64_t priority;
+};
+
+struct LocationInfo {
+  LocationId id;
+  TaskId owner;
+  std::size_t bytes;
+  std::vector<Access> accesses;
+};
+
+struct TaskGraph {
+  std::size_t num_tasks = 0;
+  std::size_t locations_per_task = 0;
+  std::vector<LocationInfo> locations;
+
+  /// Number of distinct (task, location) access edges.
+  std::size_t num_access_edges() const {
+    std::size_t n = 0;
+    for (const auto& l : locations) n += l.accesses.size();
+    return n;
+  }
+};
+
+}  // namespace orwl::rt

@@ -1,0 +1,61 @@
+#include "runtime/handle.hpp"
+
+namespace orwl::rt {
+
+void Handle::insert(TaskContext& ctx, Location& loc, AccessMode mode,
+                    std::uint64_t priority) {
+  if (linked()) {
+    throw std::logic_error("Handle: already linked to a location");
+  }
+  loc_ = &loc;
+  mode_ = mode;
+  ctx.program().register_insert(ctx.id(), loc, mode, priority, this);
+}
+
+void Handle::write_insert(TaskContext& ctx, Location& loc,
+                          std::uint64_t priority) {
+  insert(ctx, loc, AccessMode::Write, priority);
+}
+
+void Handle::read_insert(TaskContext& ctx, Location& loc,
+                         std::uint64_t priority) {
+  insert(ctx, loc, AccessMode::Read, priority);
+}
+
+void Handle::acquire() {
+  if (!linked()) throw std::logic_error("Handle::acquire: not linked");
+  if (ticket_ == 0) {
+    throw std::logic_error(
+        "Handle::acquire: no pending request (plain handles cannot be "
+        "re-acquired after release; use Handle2 for iterations)");
+  }
+  if (acquired_) throw std::logic_error("Handle::acquire: already acquired");
+  loc_->queue().acquire(ticket_);
+  acquired_ = true;
+}
+
+void Handle::release() {
+  if (!acquired_) throw std::logic_error("Handle::release: not acquired");
+  if (iterative_) {
+    ticket_ = loc_->queue().reinsert_and_release(ticket_, mode_);
+  } else {
+    loc_->queue().release(ticket_);
+    ticket_ = 0;
+  }
+  acquired_ = false;
+}
+
+std::span<std::byte> Handle::write_map() {
+  if (!acquired_) throw std::logic_error("write_map: section not acquired");
+  if (mode_ != AccessMode::Write) {
+    throw std::logic_error("write_map: handle has read access only");
+  }
+  return {loc_->data(), loc_->size()};
+}
+
+std::span<const std::byte> Handle::read_map() {
+  if (!acquired_) throw std::logic_error("read_map: section not acquired");
+  return {loc_->data(), loc_->size()};
+}
+
+}  // namespace orwl::rt

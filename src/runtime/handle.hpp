@@ -1,0 +1,123 @@
+// Handles and sections: how tasks link to and access locations.
+//
+// "orwl_handle implements a primitive to link the locations to the
+// appropriate tasks with read or write access." — and ORWL_SECTION
+// "defines a critical section that manages the access of threads to the
+// location". The iterative variant (orwl_handle2 / ORWL_SECTION2)
+// re-inserts its request at every release so that "each task may run a
+// series of iterations that are autonomously synchronized by their access
+// to the resource". (Sec. III)
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "runtime/location.hpp"
+#include "runtime/program.hpp"
+
+namespace orwl::rt {
+
+class Handle {
+ public:
+  Handle() = default;
+  virtual ~Handle() = default;
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  /// orwl_write_insert: link this handle to `loc` with exclusive access.
+  /// `priority` fixes the position in the location's initial FIFO
+  /// (ties broken by task id, then insertion order).
+  void write_insert(TaskContext& ctx, Location& loc, std::uint64_t priority);
+
+  /// orwl_read_insert: link with shared access.
+  void read_insert(TaskContext& ctx, Location& loc, std::uint64_t priority);
+
+  /// Block until this handle's request is granted.
+  void acquire();
+
+  /// Release the grant. Iterative handles re-insert automatically; plain
+  /// handles become inert afterwards.
+  void release();
+
+  bool linked() const noexcept { return loc_ != nullptr; }
+  bool acquired() const noexcept { return acquired_; }
+  bool iterative() const noexcept { return iterative_; }
+  AccessMode mode() const noexcept { return mode_; }
+  Location* location() const noexcept { return loc_; }
+
+  /// orwl_write_map: mutable view of the location buffer. Requires an
+  /// acquired write handle.
+  std::span<std::byte> write_map();
+
+  /// orwl_read_map: read view of the buffer. Requires an acquired handle.
+  std::span<const std::byte> read_map();
+
+  /// Typed convenience maps.
+  template <typename T>
+  T* write_map_as() {
+    return reinterpret_cast<T*>(write_map().data());
+  }
+  template <typename T>
+  const T* read_map_as() {
+    return reinterpret_cast<const T*>(read_map().data());
+  }
+
+ protected:
+  friend class Program;
+
+  /// Installed by the runtime when the request enters the FIFO.
+  void attach_ticket(Ticket t) noexcept { ticket_ = t; }
+
+  void insert(TaskContext& ctx, Location& loc, AccessMode mode,
+              std::uint64_t priority);
+
+  Location* loc_ = nullptr;
+  AccessMode mode_ = AccessMode::Read;
+  Ticket ticket_ = 0;
+  bool acquired_ = false;
+  bool iterative_ = false;
+};
+
+/// orwl_handle2: the iterative handle. Each release atomically re-inserts
+/// a request for the next iteration, keeping the cyclic FIFO order of all
+/// participants.
+class Handle2 : public Handle {
+ public:
+  Handle2() { iterative_ = true; }
+};
+
+/// ORWL_SECTION as RAII: acquires on construction, releases on scope exit.
+///
+///   Section sec(handle);
+///   double* v = sec.as<double>();
+class Section {
+ public:
+  explicit Section(Handle& h) : h_(&h) { h_->acquire(); }
+  ~Section() { h_->release(); }
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+
+  std::span<std::byte> write_map() { return h_->write_map(); }
+  std::span<const std::byte> read_map() { return h_->read_map(); }
+
+  template <typename T>
+  T* as() {
+    return h_->write_map_as<T>();
+  }
+  template <typename T>
+  const T* as_const() {
+    return h_->read_map_as<T>();
+  }
+
+ private:
+  Handle* h_;
+};
+
+/// Functional form: run `fn` inside a critical section on `h`.
+template <typename F>
+decltype(auto) with_section(Handle& h, F&& fn) {
+  Section sec(h);
+  return std::forward<F>(fn)(sec);
+}
+
+}  // namespace orwl::rt

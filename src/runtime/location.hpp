@@ -1,0 +1,76 @@
+// ORWL locations: the shared resources of the programming model.
+//
+// "orwl_location is the primitive to represent a shared resource between
+// the tasks. It could be data (identical contents at varying memory
+// addresses), memory (a specific address), a computational unit (CPU or
+// accelerator) or an I/O device." (Sec. III)
+//
+// A location owns a byte buffer (sized by scale()) and the FIFO request
+// queue that serializes access to it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/request_queue.hpp"
+#include "runtime/types.hpp"
+
+namespace orwl::rt {
+
+class Location {
+ public:
+  Location(LocationId id, TaskId owner, std::size_t slot)
+      : id_(id), owner_(owner), slot_(slot) {}
+  Location(const Location&) = delete;
+  Location& operator=(const Location&) = delete;
+
+  LocationId id() const noexcept { return id_; }
+  TaskId owner() const noexcept { return owner_; }
+  /// Index of this location among its owner's locations.
+  std::size_t slot() const noexcept { return slot_; }
+
+  /// "Scale our own location(s) to the appropriate size" (Listing 1).
+  /// (Re)allocates the backing buffer; contents are zero-initialized.
+  void scale(std::size_t bytes) {
+    buf_.assign(bytes, std::byte{0});
+    size_ = bytes;
+  }
+
+  /// Record the size without allocating the buffer. Used by dry-run graph
+  /// extraction (the communication matrix needs only the size, and paper-
+  /// scale problems would otherwise allocate gigabytes). Accessing data()
+  /// after a hint-only scale yields nullptr.
+  void scale_hint(std::size_t bytes) {
+    buf_.clear();
+    buf_.shrink_to_fit();
+    size_ = bytes;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::byte* data() noexcept { return buf_.data(); }
+  const std::byte* data() const noexcept { return buf_.data(); }
+
+  /// Typed view of the buffer. The caller is responsible for holding the
+  /// lock (through a granted handle) during concurrent phases.
+  template <typename T>
+  T* as() noexcept {
+    return reinterpret_cast<T*>(buf_.data());
+  }
+  template <typename T>
+  const T* as() const noexcept {
+    return reinterpret_cast<const T*>(buf_.data());
+  }
+
+  RequestQueue& queue() noexcept { return queue_; }
+  const RequestQueue& queue() const noexcept { return queue_; }
+
+ private:
+  LocationId id_;
+  TaskId owner_;
+  std::size_t slot_;
+  std::size_t size_ = 0;
+  std::vector<std::byte> buf_;
+  RequestQueue queue_;
+};
+
+}  // namespace orwl::rt

@@ -1,0 +1,312 @@
+#include "runtime/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/handle.hpp"
+#include "treematch/strategies.hpp"
+#include "topo/binding.hpp"
+#include "topo/cpuset.hpp"
+#include "topo/detect.hpp"
+
+namespace orwl::rt {
+
+Program::Program(std::size_t num_tasks, ProgramOptions opts)
+    : num_tasks_(num_tasks), opts_(opts) {
+  if (num_tasks == 0) {
+    throw std::invalid_argument("Program: at least one task required");
+  }
+  if (opts_.locations_per_task == 0) {
+    throw std::invalid_argument("Program: locations_per_task must be >= 1");
+  }
+
+  if (opts_.topology != nullptr) {
+    topology_ = opts_.topology;
+  } else {
+    owned_topology_ = topo::detect_host();
+    topology_ = &owned_topology_;
+  }
+
+  switch (opts_.affinity) {
+    case AffinityMode::Off: affinity_enabled_ = false; break;
+    case AffinityMode::On: affinity_enabled_ = true; break;
+    case AffinityMode::FromEnv: affinity_enabled_ = aff::enabled_from_env();
+  }
+
+  std::size_t nc = opts_.control_threads;
+  if (nc == ProgramOptions::kAutoControlThreads) {
+    nc = std::max<std::size_t>(1, num_tasks_ / 4);
+  }
+  control_ = std::make_unique<ControlPlane>(nc);
+
+  locations_.reserve(num_tasks_ * opts_.locations_per_task);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    for (std::size_t s = 0; s < opts_.locations_per_task; ++s) {
+      const LocationId id = t * opts_.locations_per_task + s;
+      locations_.push_back(std::make_unique<Location>(id, t, s));
+      locations_.back()->queue().set_control_plane(control_.get());
+      locations_.back()->queue().set_acquire_timeout(
+          opts_.acquire_timeout_ms);
+    }
+  }
+
+  bodies_.resize(num_tasks_);
+  insert_seq_.assign(num_tasks_, 0);
+  task_handles_.resize(num_tasks_);
+
+  graph_.num_tasks = num_tasks_;
+  graph_.locations_per_task = opts_.locations_per_task;
+  graph_.locations.resize(locations_.size());
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    graph_.locations[i].id = locations_[i]->id();
+    graph_.locations[i].owner = locations_[i]->owner();
+  }
+}
+
+Program::~Program() {
+  if (control_) control_->stop();
+}
+
+void Program::set_task_body(TaskFn fn) {
+  for (auto& b : bodies_) b = fn;
+}
+
+void Program::set_task_body(TaskId id, TaskFn fn) {
+  if (id >= num_tasks_) throw std::out_of_range("set_task_body: bad task id");
+  bodies_[id] = std::move(fn);
+}
+
+Location& Program::location(TaskId task, std::size_t slot) {
+  if (task >= num_tasks_ || slot >= opts_.locations_per_task) {
+    throw std::out_of_range("Program::location: bad coordinates");
+  }
+  return *locations_[task * opts_.locations_per_task + slot];
+}
+
+const TaskGraph& Program::graph() const {
+  std::unique_lock lock(graph_mu_);
+  return graph_;
+}
+
+void Program::register_insert(TaskId task, Location& loc, AccessMode mode,
+                              std::uint64_t priority, Handle* handle) {
+  std::unique_lock lock(graph_mu_);
+  if (!scheduled_) {
+    pending_.push_back(
+        PendingInsert{loc.id(), mode, priority, task, insert_seq_[task]++,
+                      handle});
+    return;
+  }
+  // Live insert after schedule (dynamic mode): enqueue immediately and
+  // extend the graph so that a later dependency_get() sees the new edge.
+  graph_.locations[loc.id()].accesses.push_back(
+      Access{task, mode, priority});
+  graph_.locations[loc.id()].bytes = loc.size();
+  lock.unlock();
+  handle->attach_ticket(loc.queue().enqueue(mode));
+}
+
+void Program::schedule_barrier(TaskId tid) {
+  std::unique_lock lock(barrier_mu_);
+  const std::size_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == num_tasks_) {
+    try {
+      freeze_and_place();
+    } catch (...) {
+      barrier_error_ = std::current_exception();
+    }
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts_.acquire_timeout_ms == 0
+                                      ? 3600000
+                                      : opts_.acquire_timeout_ms);
+    if (!barrier_cv_.wait_until(lock, deadline, [&] {
+          return barrier_generation_ != my_generation;
+        })) {
+      throw std::runtime_error(
+          "orwl_schedule: barrier timed out (a task did not arrive)");
+    }
+  }
+  if (barrier_error_) std::rethrow_exception(barrier_error_);
+  lock.unlock();
+  bind_self(tid);
+}
+
+void Program::freeze_and_place() {
+  {
+    std::unique_lock lock(graph_mu_);
+    // Record sizes now: scale() happened during the init phase.
+    for (std::size_t i = 0; i < locations_.size(); ++i) {
+      graph_.locations[i].bytes = locations_[i]->size();
+    }
+    // Deterministic initial FIFO order per location:
+    // (priority, task, per-task insertion sequence).
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingInsert& a, const PendingInsert& b) {
+                       if (a.loc != b.loc) return a.loc < b.loc;
+                       if (a.priority != b.priority) {
+                         return a.priority < b.priority;
+                       }
+                       if (a.task != b.task) return a.task < b.task;
+                       return a.seq < b.seq;
+                     });
+    for (const PendingInsert& p : pending_) {
+      graph_.locations[p.loc].accesses.push_back(
+          Access{p.task, p.mode, p.priority});
+      p.handle->attach_ticket(locations_[p.loc]->queue().enqueue(p.mode));
+    }
+    pending_.clear();
+    scheduled_ = true;
+  }
+
+  if (affinity_enabled_) {
+    // The paper's automatic mode: exactly the advanced API in sequence.
+    dependency_get();
+    affinity_compute();
+    affinity_set();
+    stats_.affinity_applied = true;
+  }
+}
+
+void Program::dependency_get() {
+  tm::CommMatrix m;
+  {
+    std::unique_lock lock(graph_mu_);
+    m = aff::comm_matrix_from_graph(graph_);
+  }
+  std::unique_lock lock(place_mu_);
+  matrix_ = std::move(m);
+  have_matrix_ = true;
+}
+
+std::vector<int> Program::control_associates() const {
+  // Control thread j drains hand-off events of all locations; associate
+  // it round-robin with the tasks so the placement spreads control
+  // threads across the compute threads' cores.
+  std::vector<int> assoc(control_->num_threads());
+  for (std::size_t j = 0; j < assoc.size(); ++j) {
+    assoc[j] = static_cast<int>(j % num_tasks_);
+  }
+  return assoc;
+}
+
+void Program::affinity_compute() {
+  std::unique_lock lock(place_mu_);
+  if (!have_matrix_) {
+    lock.unlock();
+    dependency_get();
+    lock.lock();
+  }
+  aff::ComputeOptions copts;
+  copts.num_control_threads = control_->num_threads();
+  copts.control_associate = control_associates();
+  copts.engine = opts_.engine;
+  try {
+    placement_ = aff::compute_placement(matrix_, *topology_, copts);
+  } catch (const std::invalid_argument&) {
+    // Algorithm 1 requires a symmetric tree; real hosts occasionally are
+    // not (disabled cores, heterogeneous packages). Degrade gracefully to
+    // a topology-ordered placement rather than aborting the program.
+    placement_ = tm::place_strategy(tm::Strategy::CompactCores, *topology_,
+                                    num_tasks_);
+    placement_.control_pu.assign(control_->num_threads(), -1);
+    stats_.affinity_fallback = true;
+  }
+  have_placement_ = true;
+}
+
+void Program::affinity_set() {
+  std::unique_lock lock(place_mu_);
+  if (!have_placement_) {
+    lock.unlock();
+    affinity_compute();
+    lock.lock();
+  }
+  if (!opts_.bind_threads) return;
+  // Bind all registered task threads.
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    const int pu = t < placement_.compute_pu.size()
+                       ? placement_.compute_pu[t]
+                       : -1;
+    if (pu < 0 || task_handles_[t] == std::thread::native_handle_type{}) {
+      continue;
+    }
+    if (topo::bind_thread(task_handles_[t], topo::CpuSet::single(pu))) {
+      ++stats_.compute_threads_bound;
+    } else {
+      ++stats_.bind_failures;
+    }
+  }
+  stats_.control_threads_bound +=
+      control_->bind_threads(placement_.control_pu);
+}
+
+void Program::bind_self(TaskId tid) {
+  if (!opts_.bind_threads) return;
+  std::unique_lock lock(place_mu_);
+  if (!have_placement_) return;
+  const int pu =
+      tid < placement_.compute_pu.size() ? placement_.compute_pu[tid] : -1;
+  lock.unlock();
+  if (pu < 0) return;
+  // Re-assert the binding from the thread itself (affinity_set already
+  // bound us by handle; this also covers threads registered late).
+  topo::bind_current_thread(topo::CpuSet::single(pu));
+}
+
+const tm::CommMatrix& Program::comm_matrix() const {
+  std::unique_lock lock(place_mu_);
+  if (!have_matrix_) {
+    throw std::logic_error("comm_matrix: call dependency_get() first");
+  }
+  return matrix_;
+}
+
+const tm::Placement& Program::placement() const {
+  std::unique_lock lock(place_mu_);
+  if (!have_placement_) {
+    throw std::logic_error("placement: call affinity_compute() first");
+  }
+  return placement_;
+}
+
+void Program::run() {
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (!bodies_[t]) {
+      throw std::logic_error("Program::run: task " + std::to_string(t) +
+                             " has no body");
+    }
+  }
+  control_->start();
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  threads_.clear();
+  threads_.reserve(num_tasks_);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    threads_.emplace_back([this, t, &err_mu, &first_error] {
+      task_handles_[t] = pthread_self();
+      TaskContext ctx(*this, t);
+      try {
+        bodies_[t](ctx);
+      } catch (...) {
+        std::unique_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads_) th.join();
+  threads_.clear();
+
+  stats_.control_events = control_->events_processed();
+  control_->stop();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace orwl::rt

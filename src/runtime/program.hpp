@@ -1,0 +1,243 @@
+// The ORWL program: tasks, locations, the schedule barrier and the
+// integration point of the affinity module.
+//
+// Lifecycle (mirrors Listing 1 of the paper):
+//   1. Construct a Program with N tasks (orwl_init).
+//   2. Each task body scales its locations (orwl_scale) and links handles
+//      (orwl_read_insert / orwl_write_insert).
+//   3. Each task calls TaskContext::schedule() (orwl_schedule): a barrier
+//      at which the runtime sorts and enqueues all initial requests,
+//      freezes the task-location graph — and, when ORWL_AFFINITY=1, runs
+//      the affinity module and binds every compute and control thread.
+//   4. Tasks enter their compute phase using Sections on the handles.
+//
+// The advanced API of Sec. IV-B is exposed as the three parameter-less
+// methods dependency_get() / affinity_compute() / affinity_set(), which
+// "only change the internal state of the ORWL runtime".
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "affinity/affinity.hpp"
+#include "runtime/control_plane.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/location.hpp"
+#include "topo/topology.hpp"
+#include "treematch/treematch.hpp"
+
+namespace orwl::rt {
+
+class TaskContext;
+class Handle;
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+enum class AffinityMode {
+  Off,      ///< never place
+  On,       ///< always place
+  FromEnv,  ///< follow ORWL_AFFINITY (the paper's automatic mode)
+};
+
+struct ProgramOptions {
+  std::size_t locations_per_task = 1;
+
+  /// Number of dedicated control threads; kAutoControlThreads picks
+  /// max(1, num_tasks / 4).
+  static constexpr std::size_t kAutoControlThreads = ~std::size_t{0};
+  std::size_t control_threads = kAutoControlThreads;
+
+  AffinityMode affinity = AffinityMode::FromEnv;
+
+  /// Topology to place on. Null => detect the host machine. The pointed-to
+  /// topology must outlive the Program.
+  const topo::Topology* topology = nullptr;
+
+  tm::GroupingEngine engine = tm::GroupingEngine::Auto;
+
+  /// When false the placement is computed but no OS binding is issued
+  /// (used when placing for a synthetic machine larger than the host).
+  bool bind_threads = true;
+
+  /// Deadlock guard for lock acquisition; 0 disables.
+  std::uint64_t acquire_timeout_ms = 120000;
+
+  /// When true, tasks should return right after schedule(); used to
+  /// extract the communication graph without running the compute phase.
+  bool dry_run = false;
+};
+
+struct ProgramStats {
+  std::uint64_t control_events = 0;   ///< lock hand-offs done by controls
+  std::size_t compute_threads_bound = 0;
+  std::size_t control_threads_bound = 0;
+  std::size_t bind_failures = 0;
+  bool affinity_applied = false;
+  /// Algorithm 1 could not run (e.g. asymmetric host topology) and the
+  /// module fell back to the compact-cores placement.
+  bool affinity_fallback = false;
+};
+
+class Program {
+ public:
+  explicit Program(std::size_t num_tasks, ProgramOptions opts = {});
+  ~Program();
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Same body for every task (SPMD, like the C library's main task).
+  void set_task_body(TaskFn fn);
+  /// Override the body of one task.
+  void set_task_body(TaskId id, TaskFn fn);
+
+  /// Spawn one thread per task, run all bodies to completion, join.
+  /// Rethrows the first task exception, if any.
+  void run();
+
+  // ---- introspection -----------------------------------------------------
+  std::size_t num_tasks() const noexcept { return num_tasks_; }
+  std::size_t locations_per_task() const noexcept {
+    return opts_.locations_per_task;
+  }
+  std::size_t num_control_threads() const noexcept {
+    return control_->num_threads();
+  }
+  Location& location(TaskId task, std::size_t slot = 0);
+  const topo::Topology& topology() const noexcept { return *topology_; }
+  bool affinity_enabled() const noexcept { return affinity_enabled_; }
+  bool dry_run() const noexcept { return opts_.dry_run; }
+  bool scheduled() const noexcept { return scheduled_; }
+
+  /// Frozen at schedule(); live inserts afterwards keep appending to it.
+  const TaskGraph& graph() const;
+
+  // ---- the advanced affinity API (Sec. IV-B) ------------------------------
+  // "None of the functions of that API take parameters or return values,
+  // they only change the internal state of the ORWL runtime."
+
+  /// orwl_dependency_get: (re)compute the communication matrix from the
+  /// current task-location graph.
+  void dependency_get();
+
+  /// orwl_affinity_compute: (re)run Algorithm 1 on the current matrix.
+  void affinity_compute();
+
+  /// orwl_affinity_set: bind all live compute and control threads
+  /// according to the computed placement.
+  void affinity_set();
+
+  const tm::CommMatrix& comm_matrix() const;
+  const tm::Placement& placement() const;
+  const ProgramStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class TaskContext;
+  friend class Handle;
+
+  struct PendingInsert {
+    LocationId loc;
+    AccessMode mode;
+    std::uint64_t priority;
+    TaskId task;
+    std::uint64_t seq;  ///< per-task insertion order (stable tie-break)
+    Handle* handle;
+  };
+
+  /// Called by Handle inserts before schedule; enqueues live afterwards.
+  void register_insert(TaskId task, Location& loc, AccessMode mode,
+                       std::uint64_t priority, Handle* handle);
+
+  /// The orwl_schedule barrier.
+  void schedule_barrier(TaskId tid);
+
+  /// Leader-only work at the barrier: sort + enqueue pending requests,
+  /// freeze the graph, run the affinity module when enabled.
+  void freeze_and_place();
+
+  /// Bind the calling (task) thread according to the placement.
+  void bind_self(TaskId tid);
+
+  std::vector<int> control_associates() const;
+
+  const std::size_t num_tasks_;
+  ProgramOptions opts_;
+  topo::Topology owned_topology_;        // when detected
+  const topo::Topology* topology_;       // never null after ctor
+  bool affinity_enabled_;
+
+  std::vector<std::unique_ptr<Location>> locations_;
+  std::unique_ptr<ControlPlane> control_;
+  std::vector<TaskFn> bodies_;
+
+  // Insert registration (guarded by graph_mu_).
+  mutable std::mutex graph_mu_;
+  std::vector<PendingInsert> pending_;
+  std::vector<std::uint64_t> insert_seq_;  // per task
+  TaskGraph graph_;
+  bool scheduled_ = false;
+
+  // Barrier state.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::size_t barrier_arrived_ = 0;
+  std::size_t barrier_generation_ = 0;
+  std::exception_ptr barrier_error_;
+
+  // Placement state (guarded by place_mu_ for the dynamic API).
+  mutable std::mutex place_mu_;
+  tm::CommMatrix matrix_;
+  bool have_matrix_ = false;
+  tm::Placement placement_;
+  bool have_placement_ = false;
+
+  // Thread registry for affinity_set.
+  std::vector<std::thread::native_handle_type> task_handles_;
+  std::vector<std::thread> threads_;
+
+  ProgramStats stats_;
+};
+
+/// Per-task view of the program — the argument of every task body.
+class TaskContext {
+ public:
+  TaskId id() const noexcept { return id_; }             ///< orwl_mytid
+  std::size_t num_tasks() const noexcept { return prog_->num_tasks(); }
+  Program& program() noexcept { return *prog_; }
+
+  /// Location `slot` of task `task` (ORWL_LOCATION(task, slot)).
+  Location& location(TaskId task, std::size_t slot = 0) {
+    return prog_->location(task, slot);
+  }
+  Location& my_location(std::size_t slot = 0) {
+    return prog_->location(id_, slot);
+  }
+
+  /// orwl_scale for one of the task's own locations.
+  void scale(std::size_t bytes, std::size_t slot = 0) {
+    my_location(slot).scale(bytes);
+  }
+
+  /// Size-only scale for dry-run graph extraction (no allocation).
+  void scale_hint(std::size_t bytes, std::size_t slot = 0) {
+    my_location(slot).scale_hint(bytes);
+  }
+
+  /// orwl_schedule: synchronize and coordinate the requests of all tasks.
+  void schedule() { prog_->schedule_barrier(id_); }
+
+  /// True when the program only extracts the graph; bodies should return
+  /// right after schedule() in that case.
+  bool dry_run() const noexcept { return prog_->dry_run(); }
+
+ private:
+  friend class Program;
+  TaskContext(Program& p, TaskId id) : prog_(&p), id_(id) {}
+  Program* prog_;
+  TaskId id_;
+};
+
+}  // namespace orwl::rt

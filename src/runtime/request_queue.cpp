@@ -1,0 +1,126 @@
+#include "runtime/request_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "runtime/control_plane.hpp"
+
+namespace orwl::rt {
+
+Ticket RequestQueue::enqueue(AccessMode mode) {
+  std::unique_lock lock(mu_);
+  const Ticket t = next_ticket_++;
+  q_.push_back(Entry{t, mode, false});
+  if (grant_head_locked()) cv_.notify_all();
+  return t;
+}
+
+bool RequestQueue::grant_head_locked() {
+  bool any = false;
+  if (q_.empty()) return false;
+  if (q_.front().mode == AccessMode::Write) {
+    if (!q_.front().granted) {
+      q_.front().granted = true;
+      ++grants_;
+      any = true;
+    }
+    return any;
+  }
+  // Reader sharing: grant the maximal leading run of reads.
+  for (auto& e : q_) {
+    if (e.mode != AccessMode::Read) break;
+    if (!e.granted) {
+      e.granted = true;
+      ++grants_;
+      any = true;
+    }
+  }
+  return any;
+}
+
+void RequestQueue::acquire(Ticket t) {
+  std::unique_lock lock(mu_);
+  auto find = [&]() {
+    return std::find_if(q_.begin(), q_.end(),
+                        [&](const Entry& e) { return e.ticket == t; });
+  };
+  auto it = find();
+  if (it == q_.end()) {
+    throw std::runtime_error("RequestQueue::acquire: unknown ticket");
+  }
+  if (timeout_ms_ == 0) {
+    cv_.wait(lock, [&] {
+      auto i = find();
+      return i != q_.end() && i->granted;
+    });
+    return;
+  }
+  const bool ok =
+      cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_), [&] {
+        auto i = find();
+        return i != q_.end() && i->granted;
+      });
+  if (!ok) {
+    throw std::runtime_error(
+        "RequestQueue::acquire: timed out waiting for grant (likely a "
+        "deadlocked access protocol)");
+  }
+}
+
+bool RequestQueue::granted(Ticket t) const {
+  std::unique_lock lock(mu_);
+  const auto it = std::find_if(q_.begin(), q_.end(),
+                               [&](const Entry& e) { return e.ticket == t; });
+  return it != q_.end() && it->granted;
+}
+
+void RequestQueue::hand_off_locked(std::unique_lock<std::mutex>& lock) {
+  if (control_ != nullptr && control_->running()) {
+    // Decentralized hand-off: a control thread performs the grant.
+    lock.unlock();
+    control_->post(this);
+  } else {
+    if (grant_head_locked()) cv_.notify_all();
+    lock.unlock();
+  }
+}
+
+void RequestQueue::release(Ticket t) {
+  std::unique_lock lock(mu_);
+  const auto it = std::find_if(q_.begin(), q_.end(),
+                               [&](const Entry& e) { return e.ticket == t; });
+  if (it == q_.end() || !it->granted) {
+    throw std::logic_error("RequestQueue::release: ticket not granted");
+  }
+  q_.erase(it);
+  hand_off_locked(lock);
+}
+
+Ticket RequestQueue::reinsert_and_release(Ticket t, AccessMode mode) {
+  std::unique_lock lock(mu_);
+  const auto it = std::find_if(q_.begin(), q_.end(),
+                               [&](const Entry& e) { return e.ticket == t; });
+  if (it == q_.end() || !it->granted) {
+    throw std::logic_error(
+        "RequestQueue::reinsert_and_release: ticket not granted");
+  }
+  const Ticket fresh = next_ticket_++;
+  q_.push_back(Entry{fresh, mode, false});
+  q_.erase(std::find_if(q_.begin(), q_.end(),
+                        [&](const Entry& e) { return e.ticket == t; }));
+  hand_off_locked(lock);
+  return fresh;
+}
+
+std::size_t RequestQueue::pending() const {
+  std::unique_lock lock(mu_);
+  return q_.size();
+}
+
+void RequestQueue::grant_from_control() {
+  std::unique_lock lock(mu_);
+  if (grant_head_locked()) cv_.notify_all();
+}
+
+}  // namespace orwl::rt

@@ -1,0 +1,98 @@
+// The per-location FIFO of read/write requests — the heart of the ORWL
+// synchronization model.
+//
+// "The model presents the concurrent access to a resource/location by
+// using a FIFO that holds requests (requested, allocated, released) issued
+// by the tasks. The FIFO controls the access order and locks and maps the
+// resource for some threads either exclusively (for a writer) or shared
+// (for a set of readers)." (Sec. III)
+//
+// Grant rule: the request at the head of the FIFO is granted; when the
+// head is a read request, the maximal run of consecutive read requests at
+// the head is granted together (reader sharing). Requests are removed at
+// release time, after which the new head group is granted — either inline
+// or, when a ControlPlane is attached, by a dedicated control thread
+// (reproducing ORWL's decentralized event-based hand-off).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "runtime/types.hpp"
+
+namespace orwl::rt {
+
+class ControlPlane;
+
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Attach the control plane that performs grant hand-off. May be null
+  /// (inline grants). Not thread-safe; call before concurrent use.
+  void set_control_plane(ControlPlane* cp) noexcept { control_ = cp; }
+
+  /// Milliseconds after which acquire() throws (deadlock guard).
+  /// 0 disables the guard. Not thread-safe; set before concurrent use.
+  void set_acquire_timeout(std::uint64_t ms) noexcept { timeout_ms_ = ms; }
+
+  /// Append a request; returns its ticket. Grants immediately when the
+  /// request lands in the eligible head group.
+  Ticket enqueue(AccessMode mode);
+
+  /// Block until the ticket is granted. Throws std::runtime_error on
+  /// timeout (likely protocol deadlock) or unknown ticket.
+  void acquire(Ticket t);
+
+  /// True when the ticket is already granted (non-blocking).
+  bool granted(Ticket t) const;
+
+  /// Remove a granted request and hand the resource to the next group.
+  /// Throws std::logic_error when the ticket is absent or not granted.
+  void release(Ticket t);
+
+  /// Atomically enqueue a new request of the same mode and release the
+  /// given one. Implements the iterative handle ("Before its termination,
+  /// such a section introduces a new query in the FIFO that requests the
+  /// resource for the next iteration"). Returns the new ticket.
+  Ticket reinsert_and_release(Ticket t, AccessMode mode);
+
+  /// Number of requests currently queued (granted included).
+  std::size_t pending() const;
+
+  /// Statistics: total grants performed (for tests and benches).
+  std::uint64_t total_grants() const noexcept { return grants_; }
+
+ private:
+  friend class ControlPlane;
+
+  struct Entry {
+    Ticket ticket;
+    AccessMode mode;
+    bool granted = false;
+  };
+
+  /// Grant the eligible head group; returns true when anything new was
+  /// granted. Caller holds mu_.
+  bool grant_head_locked();
+
+  /// Entry point used by control threads to perform the hand-off.
+  void grant_from_control();
+
+  /// After a release: either post to the control plane or grant inline.
+  void hand_off_locked(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> q_;
+  Ticket next_ticket_ = 1;
+  std::uint64_t grants_ = 0;
+  std::uint64_t timeout_ms_ = 120000;
+  ControlPlane* control_ = nullptr;
+};
+
+}  // namespace orwl::rt

@@ -1,0 +1,41 @@
+// The orwl_split primitive: data-parallel decomposition of one location.
+//
+// "An orwl_split primitive helps to split the data of a location into
+// several pieces that can be processed in parallel by other tasks or
+// operations." (Sec. V-C)
+//
+// In this runtime the split is expressed with the existing primitives:
+// every worker task inserts a *read* handle on the parent location —
+// ORWL's reader sharing grants all workers simultaneously — and each
+// worker processes only its slice, writing results to its own location.
+// The merge task then reads all worker locations. This header provides
+// the slice arithmetic; see apps/video_app.cpp for the wiring idiom.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+
+namespace orwl::rt {
+
+struct SliceRange {
+  std::size_t begin;
+  std::size_t end;  ///< exclusive
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Slice `idx` of [0, total) split into `parts` near-equal contiguous
+/// pieces; the first (total % parts) slices are one element longer.
+inline SliceRange split_range(std::size_t total, std::size_t parts,
+                              std::size_t idx) {
+  if (parts == 0 || idx >= parts) {
+    throw std::invalid_argument("split_range: bad part index");
+  }
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t begin = idx * base + std::min(idx, extra);
+  const std::size_t len = base + (idx < extra ? 1 : 0);
+  return SliceRange{begin, begin + len};
+}
+
+}  // namespace orwl::rt

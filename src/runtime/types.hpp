@@ -1,0 +1,26 @@
+// Shared identifiers of the ORWL runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace orwl::rt {
+
+/// Identifier of an application task ("orwl_mytid" in the C library).
+using TaskId = std::size_t;
+
+/// Global identifier of a location: owner_task * locations_per_task + slot.
+using LocationId = std::size_t;
+
+/// Ticket identifying one request in a location's FIFO.
+using Ticket = std::uint64_t;
+
+/// Access mode of a request: readers may share the head of the FIFO,
+/// writers are exclusive.
+enum class AccessMode : std::uint8_t { Read, Write };
+
+inline const char* to_string(AccessMode m) noexcept {
+  return m == AccessMode::Read ? "read" : "write";
+}
+
+}  // namespace orwl::rt

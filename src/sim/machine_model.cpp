@@ -1,0 +1,75 @@
+#include "sim/machine_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topo/machines.hpp"
+
+namespace orwl::sim {
+
+const char* to_string(OsPolicy p) noexcept {
+  switch (p) {
+    case OsPolicy::NumaPack: return "numa-pack";
+    case OsPolicy::EvenSpread: return "even-spread";
+  }
+  return "?";
+}
+
+MachineModel MachineModel::smp12e5() {
+  MachineModel m;
+  m.name = "SMP12E5";
+  m.topology = topo::make_smp12e5();
+  m.clock_ghz = 2.6;
+  m.dram_gbps_per_node = 13.0;
+  m.interconnect_gbps = 6.5;  // NUMAlink6 (Table I)
+  m.os_policy = OsPolicy::NumaPack;
+  m.dense_flops_per_cycle = 4.6;  // Sandy Bridge AVX; ~95 GF per socket
+  return m;
+}
+
+MachineModel restricted(const MachineModel& m, int nodes) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("restricted: nodes must be positive");
+  }
+  const int nd = m.topology.depth_of_type(topo::ObjType::NumaNode);
+  const auto numa = m.topology.at_depth(nd);
+  const int have = static_cast<int>(numa.size());
+  const int use = std::min(nodes, have);
+  const int cores_per_node =
+      static_cast<int>(m.topology.num_cores()) / have;
+  const int pus_per_core = static_cast<int>(m.topology.num_pus() /
+                                            m.topology.num_cores());
+  // Topology is move-only; copy the cost parameters field by field and
+  // rebuild the (smaller) tree.
+  MachineModel out;
+  out.name = m.name + "-" + std::to_string(use) + "nodes";
+  out.topology =
+      topo::make_numa(use, cores_per_node, pus_per_core,
+                      m.topology.cache_size(topo::ObjType::L3));
+  out.clock_ghz = m.clock_ghz;
+  out.miss_stall_cycles = m.miss_stall_cycles;
+  out.l3_hit_cycles = m.l3_hit_cycles;
+  out.same_core_hit_cycles = m.same_core_hit_cycles;
+  out.dram_gbps_per_node = m.dram_gbps_per_node;
+  out.interconnect_gbps = m.interconnect_gbps;
+  out.remote_dram_factor = m.remote_dram_factor;
+  out.ctx_switch_ns = m.ctx_switch_ns;
+  out.smt_throughput_factor = m.smt_throughput_factor;
+  out.os_policy = m.os_policy;
+  out.dense_flops_per_cycle = m.dense_flops_per_cycle;
+  return out;
+}
+
+MachineModel MachineModel::smp20e7() {
+  MachineModel m;
+  m.name = "SMP20E7";
+  m.topology = topo::make_smp20e7();
+  m.clock_ghz = 2.66;
+  m.dram_gbps_per_node = 10.0;     // Westmere-EX, older memory
+  m.interconnect_gbps = 15.0;      // NUMAlink5 (Table I)
+  m.os_policy = OsPolicy::EvenSpread;
+  m.dense_flops_per_cycle = 3.1;   // SSE-class; ~65 GF per socket
+  return m;
+}
+
+}  // namespace orwl::sim

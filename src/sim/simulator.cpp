@@ -1,0 +1,428 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "treematch/strategies.hpp"
+
+namespace orwl::sim {
+
+const char* to_string(ExecModel m) noexcept {
+  switch (m) {
+    case ExecModel::OrwlPipeline: return "orwl-pipeline";
+    case ExecModel::ForkJoin: return "fork-join";
+    case ExecModel::Sequential: return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kLine = 64.0;        // cache line bytes
+constexpr double kColdMissFrac = 0.02;
+constexpr double kControlLoad = 0.3;  // CPU load of one control thread
+
+/// Fraction of wakeups that migrate an unbound thread: lock-driven
+/// (pipeline) execution churns the runqueues far more than fork-join
+/// workers that block once per barrier.
+double wakeup_migration_rate(ExecModel exec) {
+  switch (exec) {
+    case ExecModel::OrwlPipeline: return 0.15;
+    case ExecModel::ForkJoin: return 0.002;
+    case ExecModel::Sequential: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Context switches per sync event. Bound threads wake on a warm core and
+/// often continue without a full switch-out.
+double ctx_per_sync(ExecModel exec, bool bound) {
+  switch (exec) {
+    case ExecModel::OrwlPipeline: return bound ? 0.9 : 1.0;
+    case ExecModel::ForkJoin: return bound ? 0.002 : 0.008;
+    case ExecModel::Sequential: return 0.001;
+  }
+  return 0.0;
+}
+
+struct ThreadView {
+  int pu = -1;          // logical PU index on the synthetic topology
+  int core = -1;        // core logical index
+  int node = -1;        // NUMA node logical index
+  double load = 1.0;    // 1.0 compute, kControlLoad control
+};
+
+struct MachineView {
+  const topo::Topology* topo;
+  int num_nodes;
+  std::vector<int> pu_core;   // per logical PU
+  std::vector<int> pu_node;
+
+  explicit MachineView(const topo::Topology& t) : topo(&t) {
+    const int nd = t.depth_of_type(topo::ObjType::NumaNode);
+    num_nodes = nd >= 0 ? static_cast<int>(t.at_depth(nd).size()) : 1;
+    pu_core.resize(t.num_pus());
+    pu_node.resize(t.num_pus());
+    for (std::size_t p = 0; p < t.num_pus(); ++p) {
+      const topo::Object* pu = t.pu_at(static_cast<int>(p));
+      const topo::Object* core = pu->ancestor_of_type(topo::ObjType::Core);
+      pu_core[p] = core != nullptr ? core->logical_index
+                                   : static_cast<int>(p);
+      const topo::Object* node =
+          pu->ancestor_of_type(topo::ObjType::NumaNode);
+      pu_node[p] = node != nullptr ? node->logical_index : 0;
+    }
+  }
+
+  int logical_pu_of_os(int os) const {
+    const topo::Object* pu = topo->pu_by_os_index(os);
+    return pu != nullptr ? pu->logical_index : -1;
+  }
+};
+
+/// PU visit order used by the two OS scheduler families.
+std::vector<int> os_pu_order(const MachineView& mv, OsPolicy policy) {
+  const std::size_t n = mv.topo->num_pus();
+  std::vector<int> order(n);
+  if (policy == OsPolicy::NumaPack) {
+    // Compact: PU 0, 1, 2, ... — siblings first, fewest nodes.
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+    return order;
+  }
+  // EvenSpread: round-robin over nodes.
+  const tm::Placement p = tm::place_strategy(
+      tm::Strategy::Scatter, *mv.topo, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = mv.logical_pu_of_os(p.compute_pu[i]);
+  }
+  return order;
+}
+
+}  // namespace
+
+SimResult simulate(const MachineModel& machine, const Workload& w,
+                   const BindSpec& bind) {
+  const std::size_t T = w.num_threads;
+  if (T == 0) throw std::invalid_argument("simulate: empty workload");
+  auto check = [&](const std::vector<double>& v, const char* what) {
+    if (v.size() != T) {
+      throw std::invalid_argument(std::string("simulate: ") + what +
+                                  " size mismatch");
+    }
+  };
+  check(w.flops, "flops");
+  check(w.stream_bytes, "stream_bytes");
+  check(w.shared_bytes, "shared_bytes");
+  check(w.wset_bytes, "wset_bytes");
+  if (w.comm.order() != T) {
+    throw std::invalid_argument("simulate: comm matrix order mismatch");
+  }
+  const bool bound = bind.kind == BindSpec::Kind::Bound;
+  if (bound && bind.placement.compute_pu.size() < T) {
+    throw std::invalid_argument("simulate: bound placement too small");
+  }
+
+  const MachineView mv(machine.topology);
+  const std::size_t C = w.control_threads;
+  const std::size_t total = T + C;
+  const double l3_bytes =
+      static_cast<double>(machine.topology.cache_size(topo::ObjType::L3));
+
+  support::SplitMix64 rng(bind.seed);
+  const std::size_t epochs = bound ? 1 : 20;
+  const double iters_per_epoch = w.iterations / static_cast<double>(epochs);
+
+  // ---- initial / per-epoch thread assignment ----------------------------
+  std::vector<ThreadView> threads(total);
+  for (std::size_t t = T; t < total; ++t) threads[t].load = kControlLoad;
+
+  std::vector<int> os_order = os_pu_order(mv, machine.os_policy);
+
+  auto assign_os = [&](std::vector<ThreadView>& tv) {
+    for (std::size_t t = 0; t < total; ++t) {
+      tv[t].pu = os_order[t % os_order.size()];
+    }
+  };
+  auto assign_bound = [&](std::vector<ThreadView>& tv) {
+    for (std::size_t t = 0; t < T; ++t) {
+      const int pu = mv.logical_pu_of_os(bind.placement.compute_pu[t]);
+      if (pu < 0) {
+        throw std::invalid_argument("simulate: bound PU not in topology");
+      }
+      tv[t].pu = pu;
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      const int os = c < bind.placement.control_pu.size()
+                         ? bind.placement.control_pu[c]
+                         : -1;
+      if (os >= 0) {
+        tv[T + c].pu = mv.logical_pu_of_os(os);
+      } else {
+        // Unmanaged control threads: the OS parks them on the busy
+        // compute PUs, stealing cycles there.
+        tv[T + c].pu = tv[c % T].pu;
+      }
+    }
+  };
+
+  if (bound) {
+    assign_bound(threads);
+  } else {
+    assign_os(threads);
+  }
+  auto refresh_domains = [&](std::vector<ThreadView>& tv) {
+    for (auto& t : tv) {
+      t.core = mv.pu_core[static_cast<std::size_t>(t.pu)];
+      t.node = mv.pu_node[static_cast<std::size_t>(t.pu)];
+    }
+  };
+  refresh_domains(threads);
+
+  // First-touch homes (memory stays where the first epoch ran).
+  std::vector<int> home_node(total);
+  for (std::size_t t = 0; t < total; ++t) home_node[t] = threads[t].node;
+  const int shared_home = threads[0].node;
+
+  // ---- accumulation over epochs -----------------------------------------
+  Counters counters;
+  double seconds = 0;
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    if (!bound && epoch > 0) {
+      // Scheduler jitter: a fraction of threads moves. The packing
+      // scheduler (Linux 3.10) keeps rebalanced threads inside the packed
+      // region — hyperthread siblings included — while the spreading
+      // scheduler (2.6.32) rebalances across the whole machine.
+      const std::size_t jitter_span =
+          machine.os_policy == OsPolicy::NumaPack
+              ? std::min(os_order.size(), total + total / 4)
+              : os_order.size();
+      std::vector<ThreadView> next = threads;
+      for (std::size_t t = 0; t < total; ++t) {
+        if (rng.uniform() < 0.12) {
+          next[t].pu = os_order[rng.below(
+              static_cast<std::uint64_t>(jitter_span))];
+        }
+      }
+      refresh_domains(next);
+      for (std::size_t t = 0; t < total; ++t) {
+        if (next[t].pu != threads[t].pu) counters.cpu_migrations += 1;
+      }
+      threads = std::move(next);
+    }
+
+    // -- core/PU occupancy -> per-thread compute throughput --------------
+    std::vector<double> pu_load(machine.topology.num_pus(), 0.0);
+    std::vector<double> core_load(machine.topology.num_cores(), 0.0);
+    for (const auto& t : threads) {
+      pu_load[static_cast<std::size_t>(t.pu)] += t.load;
+      core_load[static_cast<std::size_t>(t.core)] += t.load;
+    }
+
+    // -- cache-domain working sets ----------------------------------------
+    std::vector<double> node_wset(static_cast<std::size_t>(mv.num_nodes),
+                                  0.0);
+    for (std::size_t t = 0; t < T; ++t) {
+      node_wset[static_cast<std::size_t>(threads[t].node)] +=
+          w.wset_bytes[t];
+    }
+    auto miss_frac_of_node = [&](int node) {
+      const double ws = node_wset[static_cast<std::size_t>(node)];
+      if (l3_bytes <= 0 || ws <= 0) return kColdMissFrac;
+      if (ws <= l3_bytes) return kColdMissFrac;
+      return kColdMissFrac + (1.0 - kColdMissFrac) * (1.0 - l3_bytes / ws);
+    };
+
+    // -- per-thread cycles and per-node bandwidth demand -------------------
+    std::vector<double> cycles(T, 0.0);
+    std::vector<double> node_dram(static_cast<std::size_t>(mv.num_nodes),
+                                  0.0);
+    std::vector<double> node_link(static_cast<std::size_t>(mv.num_nodes),
+                                  0.0);
+    double epoch_misses = 0;
+    double epoch_stall_cycles = 0;
+
+    for (std::size_t t = 0; t < T; ++t) {
+      const ThreadView& tv = threads[t];
+      const double mf = miss_frac_of_node(tv.node);
+
+      // Compute throughput under PU/core sharing. The SMT penalty scales
+      // with the load of the hyperthread sibling: a compute thread next
+      // to another compute thread pays the full factor, a compute thread
+      // next to a light control thread (the paper's preferred layout)
+      // pays only a fraction of it.
+      const double my_pu_load =
+          std::max(1.0, pu_load[static_cast<std::size_t>(tv.pu)]);
+      const double sibling_load =
+          core_load[static_cast<std::size_t>(tv.core)] -
+          pu_load[static_cast<std::size_t>(tv.pu)];
+      const double smt_factor =
+          1.0 - (1.0 - machine.smt_throughput_factor) *
+                    std::min(1.0, std::max(0.0, sibling_load));
+      const double share = (1.0 / my_pu_load) * smt_factor;
+      const double fpc =
+          std::min(w.flops_per_cycle, machine.dense_flops_per_cycle) *
+          share;
+      cycles[t] += w.flops[t] / std::max(fpc, 1e-9);
+
+      // Private streams: served by the home node's DRAM; remote when the
+      // thread migrated off its first-touch node. A stable (bound)
+      // placement keeps the hardware prefetchers and private caches
+      // effective; scheduler churn defeats them and re-fetches lines.
+      // A single busy thread is rarely rebalanced; the churn penalty
+      // ramps up with the thread count.
+      const double churn =
+          0.5 * std::min(1.0, static_cast<double>(total - 1) / 8.0);
+      const double stability = bound ? 0.6 : 1.0 + churn;
+      const double priv_lines =
+          w.stream_bytes[t] * mf * stability / kLine;
+      const bool remote_home = tv.node != home_node[t];
+      double stall = priv_lines * machine.miss_stall_cycles *
+                     (remote_home ? machine.remote_dram_factor : 1.0);
+      epoch_misses += priv_lines;
+      node_dram[static_cast<std::size_t>(home_node[t])] +=
+          w.stream_bytes[t] * mf;
+      if (remote_home) {
+        node_link[static_cast<std::size_t>(tv.node)] +=
+            w.stream_bytes[t] * mf;
+      }
+
+      // Shared-region streams (e.g. the full B matrix in the MKL-style
+      // GEMM): always served by the shared home node.
+      if (w.shared_bytes[t] > 0) {
+        const bool remote = tv.node != shared_home;
+        const double lines = w.shared_bytes[t] * (remote ? 1.0 : mf) / kLine;
+        stall += lines * machine.miss_stall_cycles *
+                 (remote ? machine.remote_dram_factor : 1.0);
+        epoch_misses += lines;
+        node_dram[static_cast<std::size_t>(shared_home)] +=
+            w.shared_bytes[t] * (remote ? 1.0 : mf);
+        if (remote) {
+          node_link[static_cast<std::size_t>(tv.node)] += w.shared_bytes[t];
+        }
+      }
+
+      cycles[t] += stall;
+      epoch_stall_cycles += stall;
+    }
+
+    // Communication edges: service level depends on the placement.
+    for (std::size_t i = 0; i < T; ++i) {
+      for (std::size_t j = i + 1; j < T; ++j) {
+        const double bytes = w.comm.at(i, j);
+        if (bytes <= 0) continue;
+        const ThreadView& a = threads[i];
+        const ThreadView& b = threads[j];
+        const double lines = bytes / kLine;
+        double transfer_cycles = 0;  // pipelined moves, not stalls
+        double miss_stalls = 0;      // miss-penalty cycles (the counter)
+        if (a.core == b.core) {
+          transfer_cycles = lines * machine.same_core_hit_cycles;
+        } else if (a.node == b.node) {
+          // Producer-consumer transfers through a shared L3 mostly hit:
+          // the lines were written there moments earlier, regardless of
+          // the total working set.
+          const double mf = std::min(miss_frac_of_node(a.node), 0.15);
+          transfer_cycles = lines * machine.l3_hit_cycles;
+          miss_stalls = lines * mf * machine.miss_stall_cycles;
+          epoch_misses += lines * mf;
+        } else {
+          // Cross-NUMA: every line misses the consumer's L3 and crosses
+          // the interconnect.
+          miss_stalls = lines * machine.miss_stall_cycles *
+                        machine.remote_dram_factor;
+          epoch_misses += lines;
+          node_link[static_cast<std::size_t>(a.node)] += bytes / 2;
+          node_link[static_cast<std::size_t>(b.node)] += bytes / 2;
+        }
+        // Charge both endpoints half of the work; only miss penalties
+        // feed the stalled-cycles counter (that is what the paper's
+        // front-end stall counter tracks).
+        cycles[i] += (transfer_cycles + miss_stalls) / 2;
+        cycles[j] += (transfer_cycles + miss_stalls) / 2;
+        epoch_stall_cycles += miss_stalls;
+      }
+    }
+
+    // -- compose one iteration's wall time ---------------------------------
+    const double hz = machine.clock_ghz * 1e9;
+    double cpu_s = 0;
+    double total_cycles = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      cpu_s = std::max(cpu_s, cycles[t] / hz);
+      total_cycles += cycles[t];
+    }
+    double dram_s = 0;
+    double link_s = 0;
+    for (int n = 0; n < mv.num_nodes; ++n) {
+      dram_s = std::max(dram_s, node_dram[static_cast<std::size_t>(n)] /
+                                    (machine.dram_gbps_per_node * 1e9));
+      link_s = std::max(link_s, node_link[static_cast<std::size_t>(n)] /
+                                    (machine.interconnect_gbps * 1e9));
+    }
+
+    double iter_s = 0;
+    switch (w.exec) {
+      case ExecModel::OrwlPipeline:
+        // Decentralized execution overlaps compute, local memory and
+        // interconnect traffic; the slowest resource dominates.
+        iter_s = std::max({cpu_s, dram_s, link_s});
+        break;
+      case ExecModel::ForkJoin: {
+        const double par = w.effective_parallelism > 0
+                               ? std::min<double>(w.effective_parallelism,
+                                                  static_cast<double>(T))
+                               : static_cast<double>(T);
+        // Limited wavefront/Amdahl concurrency + barriers; memory and
+        // link traffic overlap only partially with the serialized stages.
+        const double cpu_fj = (total_cycles / hz) / std::max(par, 1.0);
+        const double barrier_s = w.barriers_per_iter *
+                                 std::log2(static_cast<double>(T) + 1) *
+                                 300e-9;
+        const double exposed = 1.0 - std::clamp(w.memory_overlap, 0.0, 1.0);
+        iter_s = std::max(cpu_fj, cpu_s) + exposed * (dram_s + link_s) +
+                 barrier_s;
+        break;
+      }
+      case ExecModel::Sequential:
+        // One thread: out-of-order execution overlaps compute with the
+        // memory streams, same bottleneck composition as the pipeline.
+        iter_s = std::max({total_cycles / hz, dram_s, link_s});
+        break;
+    }
+    seconds += iter_s * iters_per_epoch;
+
+    counters.l3_misses += epoch_misses * iters_per_epoch;
+    counters.stalled_cycles += epoch_stall_cycles * iters_per_epoch;
+
+    // -- context switches and wakeup migrations ----------------------------
+    const double sync_events =
+        iters_per_epoch * static_cast<double>(T) *
+        w.sync_events_per_thread_iter;
+    counters.context_switches += sync_events * ctx_per_sync(w.exec, bound);
+    // Control threads wake per hand-off too.
+    counters.context_switches +=
+        iters_per_epoch * static_cast<double>(C) * 2.0;
+    if (!bound) {
+      counters.cpu_migrations +=
+          sync_events * wakeup_migration_rate(w.exec);
+    }
+  }
+
+  // Context-switch time is real but tiny ("negligible compared to the
+  // overall runtime" — Sec. VI-B1); charge it anyway.
+  seconds += counters.context_switches * machine.ctx_switch_ns * 1e-9 /
+             std::max<double>(1.0, static_cast<double>(T));
+
+  SimResult result;
+  result.seconds = seconds;
+  result.counters = counters;
+  for (std::size_t t = 0; t < T; ++t) {
+    result.total_flops += w.flops[t] * w.iterations;
+  }
+  return result;
+}
+
+}  // namespace orwl::sim

@@ -1,0 +1,49 @@
+#include "support/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace orwl::support {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  const std::string_view s = *v;
+  if (iequals(s, "1") || iequals(s, "true") || iequals(s, "yes") ||
+      iequals(s, "on")) {
+    return true;
+  }
+  if (s.empty() || iequals(s, "0") || iequals(s, "false") ||
+      iequals(s, "no") || iequals(s, "off")) {
+    return false;
+  }
+  return fallback;
+}
+
+long env_long(const char* name, long fallback) {
+  const auto v = env_string(name);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  return parsed;
+}
+
+}  // namespace orwl::support

@@ -1,0 +1,30 @@
+// Environment-variable helpers.
+//
+// The affinity module of the paper is switched on by setting the
+// environment variable ORWL_AFFINITY=1 ("the ORWL user only has to set the
+// environment variable ORWL_AFFINITY to 1", Sec. IV-B).  These helpers give
+// a single, tested path for reading such configuration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace orwl::support {
+
+/// Raw environment lookup. Returns std::nullopt when the variable is unset.
+std::optional<std::string> env_string(const char* name);
+
+/// Parse a boolean environment variable.
+/// Accepted truthy spellings: "1", "true", "yes", "on" (case-insensitive).
+/// Accepted falsy spellings: "0", "false", "no", "off", "" (empty).
+/// Unset or unparsable values yield `fallback`.
+bool env_bool(const char* name, bool fallback = false);
+
+/// Parse an integral environment variable; `fallback` on unset/unparsable.
+long env_long(const char* name, long fallback);
+
+/// Case-insensitive ASCII string comparison (helper, exposed for tests).
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+}  // namespace orwl::support

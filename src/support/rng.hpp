@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generation.
+//
+// All stochastic components of the reproduction (OS-scheduler jitter in the
+// simulator, randomized property tests) use this seeded splitmix64 engine so
+// that every run of the benchmarks and tests is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace orwl::support {
+
+/// splitmix64: tiny, fast, statistically solid 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw which
+    // is irrelevant for our simulation/jitter purposes.
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace orwl::support

@@ -1,0 +1,18 @@
+// Small statistics helpers for benchmark reporting (medians over repeats).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace orwl::support {
+
+double mean(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+}  // namespace orwl::support

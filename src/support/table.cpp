@@ -1,0 +1,101 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace orwl::support {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  // Compute column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto absorb = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      width[c] = std::max(width[c], cells[c].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) absorb(r.cells);
+  }
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    total += width[c] + (c + 1 < ncols ? 3 : 0);
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      out << s;
+      if (c + 1 < ncols) {
+        out << std::string(width[c] - s.size(), ' ') << " | ";
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_si(double v, int precision) {
+  static const char* suffix[] = {"", "k", "M", "G", "T", "P"};
+  int idx = 0;
+  double a = std::fabs(v);
+  while (a >= 1000.0 && idx < 5) {
+    a /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0 && v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f%s", precision, v, suffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes, int precision) {
+  static const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  while (std::fabs(bytes) >= 1024.0 && idx < 4) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", precision, bytes, suffix[idx]);
+  return buf;
+}
+
+}  // namespace orwl::support

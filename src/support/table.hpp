@@ -1,0 +1,48 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables and figure series in a readable, diffable format.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace orwl::support {
+
+/// A simple column-aligned text table.
+///
+///   TextTable t;
+///   t.header({"Nb Cores", "ORWL", "ORWL (affinity)"});
+///   t.row({"8", "20.1", "19.7"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  /// Set (or replace) the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row. Rows may be ragged; missing cells render empty.
+  void row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void separator();
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with columns padded to the widest cell, ' | ' separators and a
+  /// rule under the header.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string format_double(double v, int precision = 2);
+std::string format_si(double v, int precision = 2);     // 1234567 -> "1.23M"
+std::string format_bytes(double bytes, int precision = 1);  // -> "20.0 MiB"
+
+}  // namespace orwl::support

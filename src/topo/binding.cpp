@@ -1,0 +1,55 @@
+#include "topo/binding.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace orwl::topo {
+
+namespace {
+
+bool fill_cpu_set(const CpuSet& set, cpu_set_t& native) noexcept {
+  CPU_ZERO(&native);
+  bool any = false;
+  for (int cpu : set.to_vector()) {
+    if (cpu >= CPU_SETSIZE) return false;
+    CPU_SET(cpu, &native);
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+bool bind_current_thread(const CpuSet& set) noexcept {
+  return bind_thread(pthread_self(), set);
+}
+
+bool bind_thread(std::thread::native_handle_type handle,
+                 const CpuSet& set) noexcept {
+  cpu_set_t native;
+  if (!fill_cpu_set(set, native)) return false;
+  return pthread_setaffinity_np(handle, sizeof native, &native) == 0;
+}
+
+CpuSet current_thread_binding() {
+  cpu_set_t native;
+  CPU_ZERO(&native);
+  CpuSet out;
+  if (pthread_getaffinity_np(pthread_self(), sizeof native, &native) != 0) {
+    return out;
+  }
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &native)) out.set(cpu);
+  }
+  return out;
+}
+
+int current_cpu() noexcept { return sched_getcpu(); }
+
+int host_cpu_count() noexcept {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace orwl::topo

@@ -1,0 +1,33 @@
+// Thread binding: the OS layer of the affinity module.
+//
+// The paper binds threads to cores "using HWLOC" (Sec. IV-A). On Linux the
+// underlying mechanism is the affinity mask; we expose it through the
+// CpuSet type. A process-wide recording mode lets tests and the simulator
+// observe bindings without requiring the real machine to honor them.
+#pragma once
+
+#include <thread>
+
+#include "topo/cpuset.hpp"
+
+namespace orwl::topo {
+
+/// Bind the calling thread to the given cpuset.
+/// Returns true on success; false (with errno intact) when the OS rejects
+/// the mask (e.g. cpus outside the machine). Empty sets are rejected.
+bool bind_current_thread(const CpuSet& set) noexcept;
+
+/// Bind another thread by native handle.
+bool bind_thread(std::thread::native_handle_type handle,
+                 const CpuSet& set) noexcept;
+
+/// Current affinity mask of the calling thread.
+CpuSet current_thread_binding();
+
+/// CPU the calling thread is executing on right now (sched_getcpu).
+int current_cpu() noexcept;
+
+/// Number of online CPUs of the host.
+int host_cpu_count() noexcept;
+
+}  // namespace orwl::topo

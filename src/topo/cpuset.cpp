@@ -1,0 +1,184 @@
+#include "topo/cpuset.hpp"
+
+#include <bit>
+#include <charconv>
+#include <stdexcept>
+
+namespace orwl::topo {
+
+namespace {
+constexpr std::size_t kBits = 64;
+}
+
+CpuSet::CpuSet(std::initializer_list<int> cpus) {
+  for (int c : cpus) set(c);
+}
+
+CpuSet CpuSet::single(int cpu) {
+  CpuSet s;
+  s.set(cpu);
+  return s;
+}
+
+CpuSet CpuSet::range(int first, int last) {
+  if (first < 0 || last < first) {
+    throw std::invalid_argument("CpuSet::range: bad bounds");
+  }
+  CpuSet s;
+  for (int c = first; c <= last; ++c) s.set(c);
+  return s;
+}
+
+CpuSet CpuSet::parse(std::string_view list) {
+  CpuSet s;
+  std::size_t pos = 0;
+  auto parse_int = [&](std::size_t& p) {
+    int value = 0;
+    const auto* begin = list.data() + p;
+    const auto* end = list.data() + list.size();
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc{} || value < 0) {
+      throw std::invalid_argument("CpuSet::parse: malformed list");
+    }
+    p += static_cast<std::size_t>(res.ptr - begin);
+    return value;
+  };
+  while (pos < list.size()) {
+    const int a = parse_int(pos);
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      const int b = parse_int(pos);
+      if (b < a) throw std::invalid_argument("CpuSet::parse: inverted range");
+      for (int c = a; c <= b; ++c) s.set(c);
+    } else {
+      s.set(a);
+    }
+    if (pos < list.size()) {
+      if (list[pos] != ',') {
+        throw std::invalid_argument("CpuSet::parse: expected ','");
+      }
+      ++pos;
+      if (pos == list.size()) {
+        throw std::invalid_argument("CpuSet::parse: trailing ','");
+      }
+    }
+  }
+  return s;
+}
+
+void CpuSet::set(int cpu) {
+  if (cpu < 0) throw std::invalid_argument("CpuSet::set: negative cpu");
+  const std::size_t w = static_cast<std::size_t>(cpu) / kBits;
+  if (w >= words_.size()) words_.resize(w + 1, 0);
+  words_[w] |= (std::uint64_t{1} << (static_cast<std::size_t>(cpu) % kBits));
+}
+
+void CpuSet::clear(int cpu) {
+  if (cpu < 0) return;
+  const std::size_t w = static_cast<std::size_t>(cpu) / kBits;
+  if (w >= words_.size()) return;
+  words_[w] &= ~(std::uint64_t{1} << (static_cast<std::size_t>(cpu) % kBits));
+  trim();
+}
+
+bool CpuSet::test(int cpu) const noexcept {
+  if (cpu < 0) return false;
+  const std::size_t w = static_cast<std::size_t>(cpu) / kBits;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (static_cast<std::size_t>(cpu) % kBits)) & 1u;
+}
+
+std::size_t CpuSet::count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+int CpuSet::first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * kBits) + std::countr_zero(words_[w]);
+    }
+  }
+  return -1;
+}
+
+int CpuSet::last() const noexcept {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * kBits) + 63 - std::countl_zero(words_[w]);
+    }
+  }
+  return -1;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& o) const {
+  CpuSet r;
+  r.words_.resize(std::max(words_.size(), o.words_.size()), 0);
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    r.words_[i] = a | b;
+  }
+  r.trim();
+  return r;
+}
+
+CpuSet CpuSet::operator&(const CpuSet& o) const {
+  CpuSet r;
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  r.words_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) r.words_[i] = words_[i] & o.words_[i];
+  r.trim();
+  return r;
+}
+
+CpuSet CpuSet::operator-(const CpuSet& o) const {
+  CpuSet r = *this;
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i) r.words_[i] &= ~o.words_[i];
+  r.trim();
+  return r;
+}
+
+bool CpuSet::operator==(const CpuSet& o) const noexcept {
+  return words_ == o.words_;  // trim() keeps representation canonical
+}
+
+std::vector<int> CpuSet::to_vector() const {
+  std::vector<int> v;
+  v.reserve(count());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      v.push_back(static_cast<int>(w * kBits) + b);
+      bits &= bits - 1;
+    }
+  }
+  return v;
+}
+
+std::string CpuSet::to_list_string() const {
+  const auto v = to_vector();
+  std::string out;
+  std::size_t i = 0;
+  while (i < v.size()) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    if (j == i) {
+      out += std::to_string(v[i]);
+    } else {
+      out += std::to_string(v[i]) + "-" + std::to_string(v[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+void CpuSet::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace orwl::topo

@@ -1,0 +1,58 @@
+// CPU sets: the unit of thread binding.
+//
+// Mirrors hwloc's bitmap/cpuset abstraction: a set of OS cpu indices with
+// set algebra and the "0-3,8,10-11" list syntax used across Linux tooling.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orwl::topo {
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+  CpuSet(std::initializer_list<int> cpus);
+
+  static CpuSet single(int cpu);
+  /// Inclusive range [first, last].
+  static CpuSet range(int first, int last);
+  /// Parse a Linux cpu-list string ("0-3,8,10-11"). Throws
+  /// std::invalid_argument on malformed input.
+  static CpuSet parse(std::string_view list);
+
+  void set(int cpu);
+  void clear(int cpu);
+  void clear_all() { words_.clear(); }
+  bool test(int cpu) const noexcept;
+
+  std::size_t count() const noexcept;
+  bool empty() const noexcept { return count() == 0; }
+
+  /// Smallest / largest member; -1 when empty.
+  int first() const noexcept;
+  int last() const noexcept;
+
+  CpuSet operator|(const CpuSet& o) const;
+  CpuSet operator&(const CpuSet& o) const;
+  /// Set difference (elements of *this not in o).
+  CpuSet operator-(const CpuSet& o) const;
+  bool operator==(const CpuSet& o) const noexcept;
+
+  /// Members in ascending order.
+  std::vector<int> to_vector() const;
+
+  /// Render as a Linux cpu-list string ("0-3,8"). Empty set renders "".
+  std::string to_list_string() const;
+
+ private:
+  // Bit i of words_[i/64] set <=> cpu i is a member. Trailing zero words
+  // are trimmed so equal sets compare equal.
+  std::vector<std::uint64_t> words_;
+  void trim();
+};
+
+}  // namespace orwl::topo

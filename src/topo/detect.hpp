@@ -1,0 +1,24 @@
+// Host topology detection (Linux sysfs).
+//
+// A best-effort replacement for hwloc's discovery: reads
+// /sys/devices/system/cpu/cpu*/topology and /sys/devices/system/node to
+// reconstruct the NUMA / package / core / PU tree of the machine the
+// process runs on. Used by the runtime when no explicit topology is
+// supplied, so that `ORWL_AFFINITY=1` works out of the box on real hosts.
+#pragma once
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace orwl::topo {
+
+/// Detect the host machine. Never throws: on any inconsistency it falls
+/// back to a flat topology over the online CPUs.
+Topology detect_host();
+
+/// Detection with an explicit sysfs root (for tests against a fake tree).
+/// Falls back to make_flat(fallback_cpus) when the tree is unreadable.
+Topology detect_from_sysfs(const std::string& sysfs_root, int fallback_cpus);
+
+}  // namespace orwl::topo

@@ -1,0 +1,87 @@
+#include "topo/machines.hpp"
+
+namespace orwl::topo {
+
+namespace {
+constexpr std::size_t kKiB = 1024;
+}  // namespace
+
+Topology make_smp12e5() {
+  return Topology::build(
+      {
+          {ObjType::NumaNode, 12},
+          {ObjType::Package, 1},
+          {ObjType::L3, 1, 20480 * kKiB},
+          {ObjType::L2, 8, 256 * kKiB},
+          {ObjType::L1, 1, 32 * kKiB},
+          {ObjType::Core, 1},
+          {ObjType::PU, 2},
+      },
+      "SMP12E5");
+}
+
+Topology make_smp20e7() {
+  return Topology::build(
+      {
+          {ObjType::NumaNode, 20},
+          {ObjType::Package, 1},
+          {ObjType::L3, 1, 24576 * kKiB},
+          {ObjType::L2, 8, 32 * kKiB},
+          {ObjType::L1, 1, 32 * kKiB},
+          {ObjType::Core, 1},
+          {ObjType::PU, 1},
+      },
+      "SMP20E7");
+}
+
+Topology make_fig2_machine() {
+  // Built by hand (rather than via LevelSpecs) to carry the display names
+  // used in the paper's figure: "Blade 0/1", "Socket 0..3".
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+  int cpu = 0;
+  for (int b = 0; b < 2; ++b) {
+    Object& blade = root->add_child(ObjType::Group);
+    blade.name = "Blade " + std::to_string(b);
+    for (int s = 0; s < 2; ++s) {
+      Object& pkg = blade.add_child(ObjType::Package);
+      pkg.name = "Socket " + std::to_string(b * 2 + s);
+      Object& l3 = pkg.add_child(ObjType::L3);
+      l3.attr_size = 20480 * kKiB;
+      for (int c = 0; c < 8; ++c) {
+        Object& l2 = l3.add_child(ObjType::L2);
+        l2.attr_size = 256 * kKiB;
+        Object& l1 = l2.add_child(ObjType::L1);
+        l1.attr_size = 32 * kKiB;
+        Object& core = l1.add_child(ObjType::Core);
+        Object& pu = core.add_child(ObjType::PU);
+        pu.os_index = cpu++;
+      }
+    }
+  }
+  return Topology::adopt(std::move(root), "Fig2-4socket");
+}
+
+Topology make_flat(int n) {
+  return Topology::build(
+      {
+          {ObjType::Core, n},
+          {ObjType::PU, 1},
+      },
+      "flat-" + std::to_string(n));
+}
+
+Topology make_numa(int numa_nodes, int cores_per_node, int pus_per_core,
+                   std::size_t l3_bytes) {
+  return Topology::build(
+      {
+          {ObjType::NumaNode, numa_nodes},
+          {ObjType::L3, 1, l3_bytes},
+          {ObjType::Core, cores_per_node},
+          {ObjType::PU, pus_per_core},
+      },
+      "numa-" + std::to_string(numa_nodes) + "x" +
+          std::to_string(cores_per_node) + "x" + std::to_string(pus_per_core));
+}
+
+}  // namespace orwl::topo

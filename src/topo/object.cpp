@@ -1,0 +1,45 @@
+#include "topo/object.hpp"
+
+namespace orwl::topo {
+
+const char* to_string(ObjType t) noexcept {
+  switch (t) {
+    case ObjType::Machine: return "Machine";
+    case ObjType::Group: return "Group";
+    case ObjType::NumaNode: return "NUMANode";
+    case ObjType::Package: return "Package";
+    case ObjType::L3: return "L3";
+    case ObjType::L2: return "L2";
+    case ObjType::L1: return "L1";
+    case ObjType::Core: return "Core";
+    case ObjType::PU: return "PU";
+  }
+  return "?";
+}
+
+bool is_cache(ObjType t) noexcept {
+  return t == ObjType::L3 || t == ObjType::L2 || t == ObjType::L1;
+}
+
+int type_rank(ObjType t) noexcept { return static_cast<int>(t); }
+
+const Object* Object::ancestor_of_type(ObjType t) const noexcept {
+  const Object* o = this;
+  while (o != nullptr && o->type != t) o = o->parent;
+  return o;
+}
+
+Object& Object::add_child(ObjType t) {
+  auto child = std::make_unique<Object>();
+  child->type = t;
+  child->parent = this;
+  children.push_back(std::move(child));
+  return *children.back();
+}
+
+std::string Object::label() const {
+  if (!name.empty()) return name;
+  return std::string(to_string(type)) + " " + std::to_string(logical_index);
+}
+
+}  // namespace orwl::topo

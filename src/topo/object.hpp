@@ -1,0 +1,87 @@
+// Topology objects: the nodes of the hardware tree.
+//
+// This mirrors hwloc's object model (Broquedis et al., "hwloc: A generic
+// framework for managing hardware affinities in HPC applications", 2010),
+// which the paper uses to obtain "the cache hierarchy, the different cache
+// sizes, the number of cores with their numbering" (Sec. III).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orwl::topo {
+
+/// Object types, ordered from the outermost container inwards. A topology
+/// tree's levels always appear in this order (some may be absent).
+enum class ObjType : std::uint8_t {
+  Machine,   ///< Whole shared-memory machine (root).
+  Group,     ///< Intermediate container (e.g. a blade in Fig. 2).
+  NumaNode,  ///< NUMA memory node.
+  Package,   ///< Physical processor package / socket.
+  L3,        ///< L3 cache.
+  L2,        ///< L2 cache.
+  L1,        ///< L1 data cache.
+  Core,      ///< Physical core.
+  PU,        ///< Processing unit (hardware thread); the leaves.
+};
+
+/// Human-readable name of an object type ("NUMANode", "Core", ...).
+const char* to_string(ObjType t) noexcept;
+
+/// True for the three cache levels.
+bool is_cache(ObjType t) noexcept;
+
+/// Rank used to validate level ordering (Machine lowest, PU highest).
+int type_rank(ObjType t) noexcept;
+
+/// A node of the topology tree. Objects are owned by their parent; the
+/// Topology owns the root. All raw pointers below are non-owning.
+struct Object {
+  ObjType type = ObjType::Machine;
+
+  /// Index among all objects of the same depth, in left-to-right order.
+  int logical_index = 0;
+
+  /// OS numbering. For PUs this is the cpu id used for binding
+  /// (sched_setaffinity); for NUMA nodes the node id. -1 when meaningless.
+  int os_index = -1;
+
+  /// Depth of this object in the tree (root = 0).
+  int depth = 0;
+
+  /// Cache size in bytes for cache objects; local memory for NUMA nodes;
+  /// 0 otherwise.
+  std::size_t attr_size = 0;
+
+  /// Optional display name ("Blade 0", "Socket 2", ...). Empty by default.
+  std::string name;
+
+  Object* parent = nullptr;
+  std::vector<std::unique_ptr<Object>> children;
+
+  /// Range of PU logical indices covered by this subtree; filled in by
+  /// Topology::finalize(). Inclusive bounds; empty subtree => first > last.
+  int first_pu = 0;
+  int last_pu = -1;
+
+  std::size_t arity() const noexcept { return children.size(); }
+  bool is_leaf() const noexcept { return children.empty(); }
+
+  /// Number of PUs (leaves) below this object, inclusive of itself if PU.
+  int pu_count() const noexcept { return last_pu - first_pu + 1; }
+
+  /// Walk up to the nearest ancestor (or self) of the given type; nullptr
+  /// when no such ancestor exists.
+  const Object* ancestor_of_type(ObjType t) const noexcept;
+
+  /// Append a child of the given type; returns a reference to it.
+  Object& add_child(ObjType t);
+
+  /// Display label: "<TypeName> <logical_index>" or the explicit name.
+  std::string label() const;
+};
+
+}  // namespace orwl::topo

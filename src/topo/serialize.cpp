@@ -1,0 +1,196 @@
+#include "topo/serialize.hpp"
+
+#include <charconv>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace orwl::topo {
+
+namespace {
+
+const char* type_token(ObjType t) {
+  switch (t) {
+    case ObjType::Machine: return "machine";
+    case ObjType::Group: return "Group";
+    case ObjType::NumaNode: return "NUMANode";
+    case ObjType::Package: return "Package";
+    case ObjType::L3: return "L3";
+    case ObjType::L2: return "L2";
+    case ObjType::L1: return "L1";
+    case ObjType::Core: return "Core";
+    case ObjType::PU: return "PU";
+  }
+  return "?";
+}
+
+bool type_from_token(std::string_view s, ObjType& out) {
+  for (ObjType t : {ObjType::Machine, ObjType::Group, ObjType::NumaNode,
+                    ObjType::Package, ObjType::L3, ObjType::L2, ObjType::L1,
+                    ObjType::Core, ObjType::PU}) {
+    if (s == type_token(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+void serialize_rec(const Object& o, int depth, std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+      << type_token(o.type);
+  if (o.os_index >= 0) out << " os=" << o.os_index;
+  if (o.attr_size != 0) out << " size=" << o.attr_size;
+  if (!o.name.empty()) out << " name=\"" << o.name << '"';
+  out << '\n';
+  for (const auto& c : o.children) serialize_rec(*c, depth + 1, out);
+}
+
+struct Line {
+  int depth;
+  ObjType type;
+  int os_index = -1;
+  std::size_t size = 0;
+  std::string name;
+};
+
+Line parse_line(std::string_view line, std::size_t lineno) {
+  auto fail = [&](const std::string& why) -> Line {
+    throw std::invalid_argument("parse_topology: line " +
+                                std::to_string(lineno) + ": " + why);
+  };
+
+  std::size_t indent = 0;
+  while (indent < line.size() && line[indent] == ' ') ++indent;
+  if (indent % 2 != 0) return fail("odd indentation");
+  Line out;
+  out.depth = static_cast<int>(indent / 2);
+
+  std::string_view rest = line.substr(indent);
+  const std::size_t sp = rest.find(' ');
+  const std::string_view type_str =
+      sp == std::string_view::npos ? rest : rest.substr(0, sp);
+  if (!type_from_token(type_str, out.type)) {
+    return fail("unknown object type '" + std::string(type_str) + "'");
+  }
+  rest = sp == std::string_view::npos ? std::string_view{}
+                                      : rest.substr(sp + 1);
+
+  while (!rest.empty()) {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) break;
+    const std::size_t eq = rest.find('=');
+    if (eq == std::string_view::npos) return fail("attribute without '='");
+    const std::string_view key = rest.substr(0, eq);
+    rest.remove_prefix(eq + 1);
+    if (key == "name") {
+      if (rest.empty() || rest.front() != '"') {
+        return fail("name attribute must be quoted");
+      }
+      rest.remove_prefix(1);
+      const std::size_t close = rest.find('"');
+      if (close == std::string_view::npos) return fail("unterminated name");
+      out.name = std::string(rest.substr(0, close));
+      rest.remove_prefix(close + 1);
+      continue;
+    }
+    // Numeric attributes.
+    const std::size_t end = rest.find(' ');
+    const std::string_view value =
+        end == std::string_view::npos ? rest : rest.substr(0, end);
+    long long parsed = 0;
+    const auto res =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (res.ec != std::errc{} || res.ptr != value.data() + value.size()) {
+      return fail("bad numeric attribute value '" + std::string(value) +
+                  "'");
+    }
+    if (key == "os") {
+      out.os_index = static_cast<int>(parsed);
+    } else if (key == "size") {
+      if (parsed < 0) return fail("negative size");
+      out.size = static_cast<std::size_t>(parsed);
+    } else {
+      return fail("unknown attribute '" + std::string(key) + "'");
+    }
+    rest = end == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(end);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize(const Topology& t) {
+  std::ostringstream out;
+  if (t.empty()) return "";
+  const Object& root = t.root();
+  out << type_token(root.type);
+  if (!t.name().empty()) out << " name=\"" << t.name() << '"';
+  out << '\n';
+  for (const auto& c : root.children) serialize_rec(*c, 1, out);
+  return out.str();
+}
+
+Topology parse_topology(std::string_view text) {
+  std::unique_ptr<Object> root;
+  std::vector<Object*> stack;  // stack[d] = last object at depth d
+  std::string machine_name = "parsed";
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const Line l = parse_line(line, lineno);
+    if (root == nullptr) {
+      if (l.depth != 0 || l.type != ObjType::Machine) {
+        throw std::invalid_argument(
+            "parse_topology: first object must be an unindented machine");
+      }
+      root = std::make_unique<Object>();
+      root->type = ObjType::Machine;
+      machine_name = l.name.empty() ? "parsed" : l.name;
+      stack.assign(1, root.get());
+      continue;
+    }
+    if (l.depth < 1 || static_cast<std::size_t>(l.depth) > stack.size()) {
+      throw std::invalid_argument("parse_topology: line " +
+                                  std::to_string(lineno) +
+                                  ": bad indentation jump");
+    }
+    Object* parent = stack[static_cast<std::size_t>(l.depth) - 1];
+    Object& child = parent->add_child(l.type);
+    child.os_index = l.os_index;
+    child.attr_size = l.size;
+    child.name = l.name;
+    stack.resize(static_cast<std::size_t>(l.depth));
+    stack.push_back(&child);
+  }
+  if (root == nullptr) {
+    throw std::invalid_argument("parse_topology: empty input");
+  }
+  return Topology::adopt(std::move(root), machine_name);
+}
+
+std::vector<int> distance_matrix(const Topology& t) {
+  const std::size_t n = t.num_pus();
+  std::vector<int> m(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const int d = t.distance(static_cast<int>(i), static_cast<int>(j));
+      m[i * n + j] = d;
+      m[j * n + i] = d;
+    }
+  }
+  return m;
+}
+
+}  // namespace orwl::topo

@@ -1,0 +1,40 @@
+// Topology serialization: a stable text format for saving and loading
+// machine descriptions (the analog of hwloc's XML export/import). Lets
+// users pin the exact tree a placement was computed for, ship testbed
+// descriptions, and diff detected topologies.
+//
+// Format: one object per line, depth encoded by two-space indentation.
+//
+//   machine "SMP12E5"
+//     NUMANode os=0
+//       Package
+//         L3 size=20971520
+//           ...
+//             PU os=0
+//
+// Attributes: `os=<int>` (OS index), `size=<bytes>` (cache/memory size),
+// `name="..."` (display name, quotes required). Unknown attributes are
+// rejected.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "topo/topology.hpp"
+
+namespace orwl::topo {
+
+/// Serialize a topology to the text format above.
+std::string serialize(const Topology& t);
+
+/// Parse a topology back. Throws std::invalid_argument on malformed
+/// input (bad indentation, unknown types/attributes, invalid tree
+/// structure — the result passes the same validation as Topology::adopt).
+Topology parse_topology(std::string_view text);
+
+/// Full PU-to-PU hop-distance matrix (row-major, order = num_pus()),
+/// using Topology::distance. Useful for exporting to external mapping
+/// tools (TreeMatch's own input format is such a matrix).
+std::vector<int> distance_matrix(const Topology& t);
+
+}  // namespace orwl::topo

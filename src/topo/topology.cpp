@@ -1,0 +1,296 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace orwl::topo {
+
+Topology Topology::build(const std::vector<LevelSpec>& levels,
+                         std::string name) {
+  if (levels.empty()) {
+    throw std::invalid_argument("Topology::build: no levels given");
+  }
+  if (levels.back().type != ObjType::PU) {
+    throw std::invalid_argument("Topology::build: last level must be PU");
+  }
+  int prev_rank = type_rank(ObjType::Machine);
+  for (const auto& l : levels) {
+    if (l.per_parent <= 0) {
+      throw std::invalid_argument("Topology::build: non-positive arity");
+    }
+    const int r = type_rank(l.type);
+    if (r <= prev_rank) {
+      throw std::invalid_argument(
+          "Topology::build: levels must be ordered outermost to innermost");
+    }
+    prev_rank = r;
+  }
+
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+
+  // Breadth-first expansion, one spec level at a time.
+  std::vector<Object*> frontier{root.get()};
+  for (const auto& spec : levels) {
+    std::vector<Object*> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(spec.per_parent));
+    for (Object* parent : frontier) {
+      for (int i = 0; i < spec.per_parent; ++i) {
+        Object& child = parent->add_child(spec.type);
+        child.attr_size = spec.size;
+        next.push_back(&child);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  return adopt(std::move(root), std::move(name));
+}
+
+Topology Topology::adopt(std::unique_ptr<Object> root, std::string name) {
+  if (root == nullptr) {
+    throw std::invalid_argument("Topology::adopt: null root");
+  }
+  Topology t;
+  t.root_ = std::move(root);
+  t.name_ = std::move(name);
+  t.finalize();
+  return t;
+}
+
+void Topology::finalize() {
+  levels_.clear();
+  cores_.clear();
+  hyperthreaded_ = false;
+  symmetric_ = true;
+
+  // Assign depths and collect levels breadth-first.
+  std::vector<Object*> frontier{root_.get()};
+  int depth = 0;
+  while (!frontier.empty()) {
+    // All objects at one depth must share a type.
+    const ObjType t = frontier.front()->type;
+    for (Object* o : frontier) {
+      if (o->type != t) {
+        throw std::invalid_argument(
+            "Topology: heterogeneous level (mixed object types at one depth)");
+      }
+      o->depth = depth;
+    }
+    levels_.push_back(frontier);
+    std::vector<Object*> next;
+    for (Object* o : frontier) {
+      for (auto& c : o->children) next.push_back(c.get());
+    }
+    // Mixed leaf/non-leaf depths would make `next` skip leaves; forbid by
+    // checking leaves only appear on the last level.
+    if (!next.empty()) {
+      for (Object* o : frontier) {
+        if (o->is_leaf()) {
+          throw std::invalid_argument(
+              "Topology: leaf object above the PU level");
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  if (levels_.back().front()->type != ObjType::PU) {
+    throw std::invalid_argument("Topology: deepest level must be PU");
+  }
+
+  // Logical indices per level; symmetric check.
+  for (auto& level : levels_) {
+    int idx = 0;
+    const std::size_t arity = level.front()->arity();
+    for (Object* o : level) {
+      o->logical_index = idx++;
+      if (o->arity() != arity) symmetric_ = false;
+    }
+  }
+
+  // PU logical index ranges, bottom-up; default PU os_index = logical.
+  {
+    auto& pus = levels_.back();
+    for (std::size_t i = 0; i < pus.size(); ++i) {
+      pus[i]->first_pu = pus[i]->last_pu = static_cast<int>(i);
+      if (pus[i]->os_index < 0) pus[i]->os_index = static_cast<int>(i);
+    }
+  }
+  for (int d = static_cast<int>(levels_.size()) - 2; d >= 0; --d) {
+    for (Object* o : levels_[static_cast<std::size_t>(d)]) {
+      o->first_pu = o->children.front()->first_pu;
+      o->last_pu = o->children.back()->last_pu;
+    }
+  }
+
+  // Core bookkeeping + hyperthread detection.
+  const int core_depth = depth_of_type(ObjType::Core);
+  if (core_depth >= 0) {
+    for (Object* o : levels_[static_cast<std::size_t>(core_depth)]) {
+      cores_.push_back(o);
+      if (o->pu_count() > 1) hyperthreaded_ = true;
+    }
+  }
+}
+
+Topology Topology::clone() const {
+  std::function<std::unique_ptr<Object>(const Object&)> copy =
+      [&](const Object& src) {
+        auto dst = std::make_unique<Object>();
+        dst->type = src.type;
+        dst->logical_index = src.logical_index;
+        dst->os_index = src.os_index;
+        dst->attr_size = src.attr_size;
+        dst->name = src.name;
+        for (const auto& c : src.children) {
+          auto child = copy(*c);
+          child->parent = dst.get();
+          dst->children.push_back(std::move(child));
+        }
+        return dst;
+      };
+  if (root_ == nullptr) return Topology{};
+  return adopt(copy(*root_), name_);
+}
+
+std::span<Object* const> Topology::at_depth(int d) const {
+  if (d < 0 || d >= depth()) {
+    throw std::out_of_range("Topology::at_depth: bad depth");
+  }
+  return levels_[static_cast<std::size_t>(d)];
+}
+
+ObjType Topology::level_type(int d) const {
+  return at_depth(d).front()->type;
+}
+
+int Topology::depth_of_type(ObjType t) const noexcept {
+  for (std::size_t d = 0; d < levels_.size(); ++d) {
+    if (levels_[d].front()->type == t) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+std::span<Object* const> Topology::cores() const {
+  if (!cores_.empty()) return cores_;
+  return pus();  // machines without an explicit Core level
+}
+
+int Topology::arity_at(int d) const {
+  if (!symmetric_) {
+    throw std::logic_error("Topology::arity_at: topology is not symmetric");
+  }
+  return static_cast<int>(at_depth(d).front()->arity());
+}
+
+const Object* Topology::pu_by_os_index(int os) const noexcept {
+  for (Object* pu : levels_.back()) {
+    if (pu->os_index == os) return pu;
+  }
+  return nullptr;
+}
+
+const Object* Topology::pu_at(int logical) const {
+  const auto pus_span = pus();
+  if (logical < 0 || static_cast<std::size_t>(logical) >= pus_span.size()) {
+    throw std::out_of_range("Topology::pu_at: bad PU index");
+  }
+  return pus_span[static_cast<std::size_t>(logical)];
+}
+
+const Object* Topology::common_ancestor(const Object& a,
+                                        const Object& b) const {
+  const Object* x = &a;
+  const Object* y = &b;
+  while (x->depth > y->depth) x = x->parent;
+  while (y->depth > x->depth) y = y->parent;
+  while (x != y) {
+    x = x->parent;
+    y = y->parent;
+  }
+  return x;
+}
+
+int Topology::sharing_depth(int pu_a, int pu_b) const {
+  const Object* a = pu_at(pu_a);
+  const Object* b = pu_at(pu_b);
+  return common_ancestor(*a, *b)->depth;
+}
+
+int Topology::distance(int pu_a, int pu_b) const {
+  const int leaf_depth = depth() - 1;
+  return 2 * (leaf_depth - sharing_depth(pu_a, pu_b));
+}
+
+std::size_t Topology::cache_size(ObjType level) const {
+  const int d = depth_of_type(level);
+  if (d < 0) return 0;
+  return at_depth(d).front()->attr_size;
+}
+
+namespace {
+
+/// Structural fingerprint of a subtree (type/arity/attr per level) used to
+/// collapse identical siblings in render().
+std::string fingerprint(const Object& o) {
+  std::string s = std::string(to_string(o.type)) + ":" +
+                  std::to_string(o.attr_size) + "(";
+  for (const auto& c : o.children) s += fingerprint(*c);
+  s += ")";
+  return s;
+}
+
+void render_rec(const Object& o, int indent, std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(indent) * 2, ' ') << o.label();
+  if (o.attr_size != 0 && is_cache(o.type)) {
+    out << " (" << o.attr_size / 1024 << " KiB)";
+  }
+  if (o.type == ObjType::PU && o.os_index >= 0) {
+    out << " [os=" << o.os_index << "]";
+  }
+  out << '\n';
+  // Collapse runs of structurally identical children.
+  std::size_t i = 0;
+  while (i < o.children.size()) {
+    const std::string fp = fingerprint(*o.children[i]);
+    std::size_t j = i + 1;
+    while (j < o.children.size() && fingerprint(*o.children[j]) == fp) ++j;
+    if (j - i >= 3 && !o.children[i]->is_leaf()) {
+      out << std::string(static_cast<std::size_t>(indent + 1) * 2, ' ')
+          << o.children[i]->label() << " .. " << o.children[j - 1]->label()
+          << "  (x" << (j - i) << " identical)" << '\n';
+      render_rec(*o.children[i], indent + 2, out);
+      i = j;
+    } else {
+      render_rec(*o.children[i], indent + 1, out);
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Topology::render() const {
+  std::ostringstream out;
+  out << name_ << '\n';
+  if (root_) render_rec(*root_, 0, out);
+  return out.str();
+}
+
+std::string Topology::summary() const {
+  std::ostringstream out;
+  out << name_ << ": ";
+  for (int d = 1; d < depth(); ++d) {
+    const auto lvl = at_depth(d);
+    if (d > 1) out << " x ";
+    const std::size_t per_parent = lvl.size() / at_depth(d - 1).size();
+    out << per_parent << " " << to_string(level_type(d));
+  }
+  out << " (" << num_cores() << " cores, " << num_pus() << " PUs)";
+  return out.str();
+}
+
+}  // namespace orwl::topo

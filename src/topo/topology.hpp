@@ -1,0 +1,127 @@
+// The hardware topology tree.
+//
+// This is the reproduction's substitute for hwloc (ref. [11] of the paper):
+// it exposes "a portable and abstracted view of the hardware topology" —
+// the tree of machine / NUMA nodes / packages / caches / cores / PUs that
+// Algorithm 1 consumes, plus the queries the affinity module needs
+// (hyperthread detection, per-level arities, sharing depths).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/object.hpp"
+
+namespace orwl::topo {
+
+/// One level of a symmetric synthetic topology:
+/// `per_parent` children of type `type` under every object of the previous
+/// level; `size` is the cache size for cache levels (bytes).
+struct LevelSpec {
+  ObjType type;
+  int per_parent;
+  std::size_t size = 0;
+};
+
+/// An immutable tree describing one shared-memory machine.
+///
+/// Depth conventions: the root (Machine) is depth 0; the PUs are the deepest
+/// level, `depth() - 1`. Levels are homogeneous: every object at a given
+/// depth has the same type (like hwloc's "normal" levels).
+class Topology {
+ public:
+  Topology() = default;
+  Topology(Topology&&) noexcept = default;
+  Topology& operator=(Topology&&) noexcept = default;
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Build a symmetric topology. `levels` describes the levels *below* the
+  /// machine root, outermost first; the last entry must be PU. Throws
+  /// std::invalid_argument on ill-formed specs (non-positive arities,
+  /// out-of-order types, missing PU level).
+  static Topology build(const std::vector<LevelSpec>& levels,
+                        std::string name = "synthetic");
+
+  /// Take ownership of a hand-built tree (used by the sysfs detector).
+  /// Runs the same finalization/validation as build().
+  static Topology adopt(std::unique_ptr<Object> root, std::string name);
+
+  /// Deep copy (explicit, since the class is move-only by default).
+  Topology clone() const;
+
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  const Object& root() const { return *root_; }
+
+  /// Number of levels, including machine and PU levels.
+  int depth() const noexcept { return static_cast<int>(levels_.size()); }
+
+  /// All objects at a given depth, left to right.
+  std::span<Object* const> at_depth(int d) const;
+
+  /// Type of the objects at a given depth.
+  ObjType level_type(int d) const;
+
+  /// Depth at which objects of type `t` live; -1 when the level is absent.
+  int depth_of_type(ObjType t) const noexcept;
+
+  /// Leaves: the processing units, in logical (left-to-right) order.
+  std::span<Object* const> pus() const { return at_depth(depth() - 1); }
+  std::span<Object* const> cores() const;
+
+  std::size_t num_pus() const { return pus().size(); }
+  std::size_t num_cores() const { return cores().size(); }
+
+  /// True when at least one core has more than one PU.
+  bool has_hyperthreads() const noexcept { return hyperthreaded_; }
+
+  /// True when all objects at each depth have identical arity.
+  bool is_symmetric() const noexcept { return symmetric_; }
+
+  /// Children per object at depth d (requires is_symmetric()).
+  int arity_at(int d) const;
+
+  /// PU object whose os_index equals `os`; nullptr when absent.
+  const Object* pu_by_os_index(int os) const noexcept;
+
+  /// PU object by logical index (0-based, left-to-right).
+  const Object* pu_at(int logical) const;
+
+  /// Deepest object containing both `a` and `b`.
+  const Object* common_ancestor(const Object& a, const Object& b) const;
+
+  /// Depth of the deepest common ancestor of two PUs (logical indices).
+  /// Equal PUs share at PU depth itself.
+  int sharing_depth(int pu_a, int pu_b) const;
+
+  /// Hop distance between two PUs: 2 * (pu_depth - sharing_depth).
+  int distance(int pu_a, int pu_b) const;
+
+  /// Cache size (bytes) of the given cache level; 0 when absent.
+  std::size_t cache_size(ObjType level) const;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Multi-line ASCII rendering of the tree (consecutive identical subtrees
+  /// are collapsed with a multiplicity marker).
+  std::string render() const;
+
+  /// Compact single-line summary, e.g.
+  /// "SMP12E5: 12 NUMANode x 1 Package x 8 Core x 2 PU (96 cores, 192 PUs)".
+  std::string summary() const;
+
+ private:
+  void finalize();  // assign depths/indices/pu-ranges, build level arrays
+
+  std::unique_ptr<Object> root_;
+  std::vector<std::vector<Object*>> levels_;
+  std::vector<Object*> cores_;  // empty if no Core level (then cores == pus)
+  std::string name_;
+  bool hyperthreaded_ = false;
+  bool symmetric_ = true;
+};
+
+}  // namespace orwl::topo

@@ -1,0 +1,130 @@
+#include "treematch/comm_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace orwl::tm {
+
+CommMatrix::CommMatrix(std::size_t order)
+    : order_(order), data_(order * order, 0.0) {}
+
+double CommMatrix::at(std::size_t i, std::size_t j) const {
+  if (i >= order_ || j >= order_) {
+    throw std::out_of_range("CommMatrix::at: index out of range");
+  }
+  return data_[idx(i, j)];
+}
+
+void CommMatrix::set(std::size_t i, std::size_t j, double v) {
+  if (i >= order_ || j >= order_) {
+    throw std::out_of_range("CommMatrix::set: index out of range");
+  }
+  if (v < 0) throw std::invalid_argument("CommMatrix::set: negative volume");
+  data_[idx(i, j)] = v;
+  data_[idx(j, i)] = v;
+}
+
+void CommMatrix::add(std::size_t i, std::size_t j, double v) {
+  set(i, j, at(i, j) + v);
+}
+
+double CommMatrix::total_volume() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < order_; ++i) {
+    for (std::size_t j = i + 1; j < order_; ++j) acc += data_[idx(i, j)];
+  }
+  return acc;
+}
+
+double CommMatrix::row_sum(std::size_t i) const {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < order_; ++j) {
+    if (j != i) acc += at(i, j);
+  }
+  return acc;
+}
+
+double CommMatrix::max_entry() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < order_; ++i) {
+    for (std::size_t j = i + 1; j < order_; ++j) {
+      m = std::max(m, data_[idx(i, j)]);
+    }
+  }
+  return m;
+}
+
+double CommMatrix::volume_within(const std::vector<int>& group) const {
+  double acc = 0.0;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      acc += at(static_cast<std::size_t>(group[a]),
+                static_cast<std::size_t>(group[b]));
+    }
+  }
+  return acc;
+}
+
+double CommMatrix::volume_between(const std::vector<int>& a,
+                                  const std::vector<int>& b) const {
+  double acc = 0.0;
+  for (int x : a) {
+    for (int y : b) {
+      acc += at(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+    }
+  }
+  return acc;
+}
+
+CommMatrix CommMatrix::aggregated(
+    const std::vector<std::vector<int>>& groups) const {
+  CommMatrix out(groups.size());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t gj = gi + 1; gj < groups.size(); ++gj) {
+      out.set(gi, gj, volume_between(groups[gi], groups[gj]));
+    }
+  }
+  return out;
+}
+
+CommMatrix CommMatrix::extended(std::size_t new_order) const {
+  CommMatrix out(new_order);
+  const std::size_t n = std::min(order_, new_order);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.data_[out.idx(i, j)] = data_[idx(i, j)];
+    }
+  }
+  return out;
+}
+
+std::string CommMatrix::render_heatmap() const {
+  static const char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;  // indices 1..9 for nonzero volumes
+  const double mx = max_entry();
+  std::ostringstream out;
+  out << "communication matrix, order " << order_
+      << " (log gray scale, max=" << mx << " bytes)\n";
+  for (std::size_t i = 0; i < order_; ++i) {
+    for (std::size_t j = 0; j < order_; ++j) {
+      const double v = data_[idx(i, j)];
+      char c = ' ';
+      if (i == j) {
+        c = '\\';
+      } else if (v > 0 && mx > 0) {
+        // log scale: map [1, mx] to [1, kLevels].
+        const double f = std::log1p(v) / std::log1p(mx);
+        int level = 1 + static_cast<int>(f * (kLevels - 1) + 0.5);
+        level = std::clamp(level, 1, kLevels);
+        c = kShades[level];
+      }
+      out << c << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace orwl::tm

@@ -1,0 +1,73 @@
+// Communication matrix between computing entities (threads).
+//
+// "...when this function [orwl_schedule] is called, we are able to
+// construct a matrix (see Fig. 1) that expresses the communication volume
+// between tasks and then to compute the mapping." (Sec. IV-A)
+//
+// The matrix is symmetric; entry (i, j) is the volume in bytes exchanged
+// between threads i and j per iteration of the application.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace orwl::tm {
+
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(std::size_t order);
+
+  std::size_t order() const noexcept { return order_; }
+
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Set the symmetric pair (i,j) and (j,i). Diagonal writes are allowed
+  /// but ignored by the grouping algorithms.
+  void set(std::size_t i, std::size_t j, double v);
+
+  /// Accumulate volume onto the symmetric pair.
+  void add(std::size_t i, std::size_t j, double v);
+
+  /// Total communication volume: sum over unordered pairs i < j.
+  double total_volume() const;
+
+  /// Sum of row i over all j != i.
+  double row_sum(std::size_t i) const;
+
+  /// Largest off-diagonal entry.
+  double max_entry() const;
+
+  /// Volume among members of one group (sum over unordered pairs inside).
+  double volume_within(const std::vector<int>& group) const;
+
+  /// Volume crossing between two disjoint groups.
+  double volume_between(const std::vector<int>& a,
+                        const std::vector<int>& b) const;
+
+  /// Aggregated matrix: one row/column per group, entries are the summed
+  /// volumes between groups ("AggregateComMatrix" of Algorithm 1).
+  CommMatrix aggregated(const std::vector<std::vector<int>>& groups) const;
+
+  /// Copy padded (or truncated) to a new order; added entries are zero.
+  /// Used to extend the matrix for control threads and for padding to a
+  /// multiple of the tree arity.
+  CommMatrix extended(std::size_t new_order) const;
+
+  bool operator==(const CommMatrix& o) const = default;
+
+  /// ASCII heat map on a logarithmic gray scale — the reproduction of the
+  /// paper's Fig. 1 rendering. Each cell is one character from " .:-=+*#%@"
+  /// scaled by log(volume)/log(max).
+  std::string render_heatmap() const;
+
+ private:
+  std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * order_ + j;
+  }
+  std::size_t order_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace orwl::tm

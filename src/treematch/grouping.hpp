@@ -1,0 +1,50 @@
+// GroupProcesses: partition computing entities into fixed-size groups by
+// communication affinity (the inner engine of Algorithm 1).
+//
+// "The internal algorithm engine of GroupProcesses is optimized such that,
+// depending on the problem size, we go from an optimal but exponential
+// algorithm to a greedy one that is linear." (Sec. IV-A)
+//
+// The exact engine enumerates all partitions of p entities into groups of
+// size a and returns one that maximizes the intra-group volume (which is
+// equivalent to minimizing the inter-group volume, since the total is
+// fixed). The greedy engine grows one group at a time around the
+// best-connected seed; its cost is O(p^2 * a), near-linear in the number
+// of matrix entries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "treematch/comm_matrix.hpp"
+
+namespace orwl::tm {
+
+enum class GroupingEngine {
+  Auto,   ///< Exact when the partition count is small, greedy otherwise.
+  Exact,  ///< Optimal, exponential.
+  Greedy, ///< Near-linear heuristic.
+};
+
+/// Number of ways to partition p entities into p/a unlabeled groups of
+/// size a, as a double (inf-safe). Used by Auto to pick the engine.
+double partition_count(std::size_t p, std::size_t a);
+
+/// Partition the entities [0, m.order()) into groups of exactly `arity`
+/// members. m.order() must be a positive multiple of `arity` (callers pad
+/// with zero-volume dummies first — see pad_to_multiple()).
+///
+/// Returns the groups in deterministic order (each group sorted ascending,
+/// groups sorted by first member).
+std::vector<std::vector<int>> group_processes(
+    const CommMatrix& m, std::size_t arity,
+    GroupingEngine engine = GroupingEngine::Auto);
+
+/// Total intra-group volume of a grouping (the objective maximized).
+double intra_volume(const CommMatrix& m,
+                    const std::vector<std::vector<int>>& groups);
+
+/// Smallest multiple of `arity` that is >= p.
+std::size_t pad_to_multiple(std::size_t p, std::size_t arity);
+
+}  // namespace orwl::tm

@@ -1,0 +1,139 @@
+#include "treematch/strategies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/env.hpp"
+
+namespace orwl::tm {
+
+namespace {
+
+using topo::Object;
+using topo::Topology;
+
+/// Sibling rank of `o` within its parent (0 for the root).
+std::size_t sibling_rank(const Object* o) {
+  if (o->parent == nullptr) return 0;
+  const auto& siblings = o->parent->children;
+  for (std::size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i].get() == o) return i;
+  }
+  return 0;
+}
+
+/// Path of sibling ranks from the root down to `o` (root excluded).
+std::vector<std::size_t> path_digits(const Object* o) {
+  std::vector<std::size_t> digits;
+  for (const Object* cur = o; cur->parent != nullptr; cur = cur->parent) {
+    digits.push_back(sibling_rank(cur));
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+/// PUs ordered for scatter: lexicographic by *reversed* root path, so that
+/// consecutive threads land in different top-level domains first.
+std::vector<const Object*> scatter_order(std::span<Object* const> objs) {
+  std::vector<std::pair<std::vector<std::size_t>, const Object*>> keyed;
+  keyed.reserve(objs.size());
+  for (const Object* o : objs) {
+    auto digits = path_digits(o);
+    std::reverse(digits.begin(), digits.end());
+    keyed.emplace_back(std::move(digits), o);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const Object*> out;
+  out.reserve(keyed.size());
+  for (auto& [k, o] : keyed) out.push_back(o);
+  return out;
+}
+
+const Object* first_pu_of(const Object* core_like) {
+  const Object* o = core_like;
+  while (!o->is_leaf()) o = o->children.front().get();
+  return o;
+}
+
+Placement from_order(const std::vector<const Object*>& order, std::size_t n,
+                     bool per_core) {
+  Placement p;
+  p.compute_pu.resize(n);
+  p.oversubscribed = n > order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Object* o = order[i % order.size()];
+    p.compute_pu[i] = per_core ? first_pu_of(o)->os_index : o->os_index;
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::None: return "none";
+    case Strategy::Compact: return "compact";
+    case Strategy::CompactCores: return "compact-cores";
+    case Strategy::Scatter: return "scatter";
+    case Strategy::ScatterCores: return "scatter-cores";
+    case Strategy::TreeMatch: return "treematch";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& name) {
+  using support::iequals;
+  if (iequals(name, "none")) return Strategy::None;
+  if (iequals(name, "compact")) return Strategy::Compact;
+  if (iequals(name, "compact-cores") || iequals(name, "close")) {
+    return Strategy::CompactCores;
+  }
+  if (iequals(name, "scatter")) return Strategy::Scatter;
+  if (iequals(name, "scatter-cores") || iequals(name, "spread")) {
+    return Strategy::ScatterCores;
+  }
+  if (iequals(name, "treematch") || iequals(name, "affinity")) {
+    return Strategy::TreeMatch;
+  }
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+Placement place_strategy(Strategy s, const Topology& topo, std::size_t n,
+                         const CommMatrix* m, const Options& opts) {
+  if (n == 0) throw std::invalid_argument("place_strategy: n == 0");
+  switch (s) {
+    case Strategy::None: {
+      Placement p;
+      p.compute_pu.assign(n, -1);
+      p.control_pu.assign(opts.num_control_threads, -1);
+      return p;
+    }
+    case Strategy::Compact: {
+      std::vector<const Object*> order(topo.pus().begin(), topo.pus().end());
+      return from_order(order, n, /*per_core=*/false);
+    }
+    case Strategy::CompactCores: {
+      std::vector<const Object*> order(topo.cores().begin(),
+                                       topo.cores().end());
+      return from_order(order, n, /*per_core=*/true);
+    }
+    case Strategy::Scatter: {
+      return from_order(scatter_order(topo.pus()), n, /*per_core=*/false);
+    }
+    case Strategy::ScatterCores: {
+      return from_order(scatter_order(topo.cores()), n, /*per_core=*/true);
+    }
+    case Strategy::TreeMatch: {
+      if (m == nullptr || m->order() != n) {
+        throw std::invalid_argument(
+            "place_strategy: TreeMatch needs a communication matrix of "
+            "matching order");
+      }
+      return tree_match(topo, *m, opts);
+    }
+  }
+  throw std::invalid_argument("place_strategy: bad strategy");
+}
+
+}  // namespace orwl::tm

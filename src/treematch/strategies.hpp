@@ -1,0 +1,49 @@
+// Baseline binding strategies: the generic, application-oblivious
+// placements the paper compares against.
+//
+// These model the OpenMP / vendor interfaces of the evaluation:
+//   - Compact       ~ KMP_AFFINITY=compact (fills PUs in OS order,
+//                     hyperthread siblings first),
+//   - CompactCores  ~ OMP_PLACES=cores OMP_PROC_BIND=close,
+//   - Scatter       ~ KMP_AFFINITY=scatter (round-robin over the highest
+//                     topology level first),
+//   - ScatterCores  ~ OMP_PLACES=cores OMP_PROC_BIND=spread,
+//   - None          ~ no binding at all (the OS scheduler decides),
+//   - TreeMatch     ~ this paper's Algorithm 1.
+//
+// "In none of these cases, the topology or the thread affinity are used
+// to compute the mapping." (Sec. VI-B1, about the OpenMP strategies)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "topo/topology.hpp"
+#include "treematch/treematch.hpp"
+
+namespace orwl::tm {
+
+enum class Strategy {
+  None,
+  Compact,
+  CompactCores,
+  Scatter,
+  ScatterCores,
+  TreeMatch,
+};
+
+const char* to_string(Strategy s) noexcept;
+
+/// Parse a strategy name ("compact", "scatter-cores", "treematch", ...).
+/// Throws std::invalid_argument for unknown names.
+Strategy parse_strategy(const std::string& name);
+
+/// Compute a placement of `n` threads under the given strategy.
+/// `m` is required for Strategy::TreeMatch (must have order n) and is
+/// ignored otherwise. When n exceeds the available slots the assignment
+/// wraps around (round-robin oversubscription).
+Placement place_strategy(Strategy s, const topo::Topology& topo,
+                         std::size_t n, const CommMatrix* m = nullptr,
+                         const Options& opts = {});
+
+}  // namespace orwl::tm

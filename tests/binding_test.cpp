@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "topo/binding.hpp"
+#include "topo/cpuset.hpp"
+
+namespace {
+
+using namespace orwl::topo;
+
+TEST(Binding, HostHasAtLeastOneCpu) {
+  EXPECT_GE(host_cpu_count(), 1);
+}
+
+TEST(Binding, CurrentCpuIsValid) {
+  const int cpu = current_cpu();
+  EXPECT_GE(cpu, 0);
+  EXPECT_LT(cpu, host_cpu_count());
+}
+
+TEST(Binding, EmptySetIsRejected) {
+  EXPECT_FALSE(bind_current_thread(CpuSet{}));
+}
+
+TEST(Binding, BindAndObserve) {
+  const CpuSet original = current_thread_binding();
+  ASSERT_FALSE(original.empty());
+
+  const int target = original.first();
+  ASSERT_TRUE(bind_current_thread(CpuSet::single(target)));
+  EXPECT_EQ(current_thread_binding().to_vector(),
+            std::vector<int>{target});
+  // The scheduler must now run us on the bound CPU.
+  EXPECT_EQ(current_cpu(), target);
+
+  // Restore.
+  EXPECT_TRUE(bind_current_thread(original));
+}
+
+TEST(Binding, BindOtherThreadByHandle) {
+  const CpuSet original = current_thread_binding();
+  ASSERT_FALSE(original.empty());
+  const int target = original.last();
+
+  CpuSet observed;
+  std::atomic<bool> bound{false};
+  std::thread worker([&] {
+    while (!bound.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    observed = current_thread_binding();
+  });
+  EXPECT_TRUE(bind_thread(worker.native_handle(), CpuSet::single(target)));
+  bound.store(true, std::memory_order_release);
+  worker.join();
+  EXPECT_EQ(observed.to_vector(), std::vector<int>{target});
+}
+
+TEST(Binding, OutOfRangeCpuFails) {
+  // CPU ids far beyond the machine must be rejected by the OS.
+  EXPECT_FALSE(bind_current_thread(CpuSet::single(CPU_SETSIZE + 10)));
+}
+
+TEST(Binding, MultiCpuMaskKeepsThreadInside) {
+  const CpuSet original = current_thread_binding();
+  if (original.count() < 2) GTEST_SKIP() << "needs >= 2 allowed cpus";
+  const auto v = original.to_vector();
+  const CpuSet mask{v[0], v[1]};
+  ASSERT_TRUE(bind_current_thread(mask));
+  const int cpu = current_cpu();
+  EXPECT_TRUE(mask.test(cpu));
+  EXPECT_TRUE(bind_current_thread(original));
+}
+
+}  // namespace

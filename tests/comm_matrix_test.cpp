@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "treematch/comm_matrix.hpp"
+
+namespace {
+
+using orwl::tm::CommMatrix;
+
+TEST(CommMatrix, DefaultEmpty) {
+  CommMatrix m;
+  EXPECT_EQ(m.order(), 0u);
+  EXPECT_DOUBLE_EQ(m.total_volume(), 0.0);
+}
+
+TEST(CommMatrix, SetIsSymmetric) {
+  CommMatrix m(4);
+  m.set(0, 3, 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 7.0);
+}
+
+TEST(CommMatrix, AddAccumulates) {
+  CommMatrix m(3);
+  m.add(1, 2, 2.5);
+  m.add(2, 1, 1.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.0);
+}
+
+TEST(CommMatrix, BoundsChecked) {
+  CommMatrix m(2);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_THROW(m.set(2, 0, 1.0), std::out_of_range);
+}
+
+TEST(CommMatrix, NegativeVolumeRejected) {
+  CommMatrix m(2);
+  EXPECT_THROW(m.set(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(CommMatrix, TotalVolumeCountsUnorderedPairs) {
+  CommMatrix m(3);
+  m.set(0, 1, 1.0);
+  m.set(1, 2, 2.0);
+  m.set(0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(m.total_volume(), 7.0);
+}
+
+TEST(CommMatrix, RowSumSkipsDiagonal) {
+  CommMatrix m(3);
+  m.set(0, 1, 1.0);
+  m.set(0, 2, 2.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 1.0);
+}
+
+TEST(CommMatrix, MaxEntry) {
+  CommMatrix m(3);
+  m.set(0, 1, 5.0);
+  m.set(1, 2, 9.0);
+  EXPECT_DOUBLE_EQ(m.max_entry(), 9.0);
+}
+
+TEST(CommMatrix, VolumeWithinAndBetween) {
+  CommMatrix m(4);
+  m.set(0, 1, 10.0);
+  m.set(2, 3, 20.0);
+  m.set(0, 2, 3.0);
+  m.set(1, 3, 4.0);
+  EXPECT_DOUBLE_EQ(m.volume_within({0, 1}), 10.0);
+  EXPECT_DOUBLE_EQ(m.volume_within({2, 3}), 20.0);
+  EXPECT_DOUBLE_EQ(m.volume_between({0, 1}, {2, 3}), 7.0);
+}
+
+TEST(CommMatrix, AggregatedSumsGroupVolumes) {
+  CommMatrix m(4);
+  m.set(0, 1, 10.0);
+  m.set(2, 3, 20.0);
+  m.set(0, 2, 3.0);
+  m.set(1, 3, 4.0);
+  const CommMatrix agg = m.aggregated({{0, 1}, {2, 3}});
+  EXPECT_EQ(agg.order(), 2u);
+  EXPECT_DOUBLE_EQ(agg.at(0, 1), 7.0);
+}
+
+TEST(CommMatrix, ExtendedPadsWithZeros) {
+  CommMatrix m(2);
+  m.set(0, 1, 5.0);
+  const CommMatrix e = m.extended(4);
+  EXPECT_EQ(e.order(), 4u);
+  EXPECT_DOUBLE_EQ(e.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(e.at(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(2, 3), 0.0);
+}
+
+TEST(CommMatrix, ExtendedCanTruncate) {
+  CommMatrix m(3);
+  m.set(0, 1, 5.0);
+  const CommMatrix e = m.extended(2);
+  EXPECT_EQ(e.order(), 2u);
+  EXPECT_DOUBLE_EQ(e.at(0, 1), 5.0);
+}
+
+TEST(CommMatrix, HeatmapShapeAndScale) {
+  CommMatrix m(5);
+  m.set(0, 1, 1e6);
+  m.set(3, 4, 1.0);
+  const std::string h = m.render_heatmap();
+  // 5 data lines plus a header line.
+  EXPECT_EQ(std::count(h.begin(), h.end(), '\n'), 6);
+  // The strongest edge renders darker than the weakest.
+  EXPECT_NE(h.find('@'), std::string::npos);
+  EXPECT_NE(h.find('.'), std::string::npos);
+  // Diagonal marker present.
+  EXPECT_NE(h.find('\\'), std::string::npos);
+}
+
+TEST(CommMatrix, HeatmapEmptyMatrix) {
+  CommMatrix m(2);
+  EXPECT_NO_THROW(m.render_heatmap());
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "topo/cpuset.hpp"
+
+namespace {
+
+using orwl::topo::CpuSet;
+
+TEST(CpuSet, DefaultIsEmpty) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.first(), -1);
+  EXPECT_EQ(s.last(), -1);
+}
+
+TEST(CpuSet, SetTestClear) {
+  CpuSet s;
+  s.set(5);
+  s.set(64);  // crosses the word boundary
+  s.set(200);
+  EXPECT_TRUE(s.test(5));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(200));
+  EXPECT_FALSE(s.test(6));
+  EXPECT_EQ(s.count(), 3u);
+  s.clear(64);
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(CpuSet, FirstLast) {
+  CpuSet s{70, 3, 128};
+  EXPECT_EQ(s.first(), 3);
+  EXPECT_EQ(s.last(), 128);
+}
+
+TEST(CpuSet, RangeFactory) {
+  const auto s = CpuSet::range(4, 7);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.test(4));
+  EXPECT_TRUE(s.test(7));
+  EXPECT_FALSE(s.test(3));
+  EXPECT_FALSE(s.test(8));
+}
+
+TEST(CpuSet, RangeRejectsBadBounds) {
+  EXPECT_THROW(CpuSet::range(5, 4), std::invalid_argument);
+  EXPECT_THROW(CpuSet::range(-1, 4), std::invalid_argument);
+}
+
+TEST(CpuSet, SingleFactory) {
+  const auto s = CpuSet::single(9);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.test(9));
+}
+
+TEST(CpuSet, ParseList) {
+  const auto s = CpuSet::parse("0-3,8,10-11");
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(CpuSet, ParseSingleValue) {
+  EXPECT_EQ(CpuSet::parse("7").to_vector(), (std::vector<int>{7}));
+}
+
+TEST(CpuSet, ParseEmptyIsEmptySet) {
+  EXPECT_TRUE(CpuSet::parse("").empty());
+}
+
+TEST(CpuSet, ParseRejectsMalformed) {
+  EXPECT_THROW(CpuSet::parse("a-b"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("3-1"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1,,2"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1,"), std::invalid_argument);
+  EXPECT_THROW(CpuSet::parse("1;2"), std::invalid_argument);
+}
+
+TEST(CpuSet, RoundTripListString) {
+  const char* cases[] = {"0-3,8,10-11", "0", "5-9", "1,3,5"};
+  for (const char* c : cases) {
+    EXPECT_EQ(CpuSet::parse(c).to_list_string(), c) << c;
+  }
+}
+
+TEST(CpuSet, UnionIntersectionDifference) {
+  const auto a = CpuSet::parse("0-5");
+  const auto b = CpuSet::parse("4-8");
+  EXPECT_EQ((a | b).to_list_string(), "0-8");
+  EXPECT_EQ((a & b).to_list_string(), "4-5");
+  EXPECT_EQ((a - b).to_list_string(), "0-3");
+}
+
+TEST(CpuSet, EqualityIsCanonical) {
+  CpuSet a;
+  a.set(100);
+  a.clear(100);  // leaves trailing words trimmed
+  EXPECT_EQ(a, CpuSet{});
+  EXPECT_EQ(CpuSet::parse("1-2"), (CpuSet{1, 2}));
+}
+
+TEST(CpuSet, NegativeSetThrows) {
+  CpuSet s;
+  EXPECT_THROW(s.set(-1), std::invalid_argument);
+}
+
+TEST(CpuSet, TestOutOfRangeIsFalse) {
+  CpuSet s{1};
+  EXPECT_FALSE(s.test(100000));
+  EXPECT_FALSE(s.test(-5));
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/dgemm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace orwl::apps;
+using orwl::support::SplitMix64;
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+  std::vector<double> m(rows * cols);
+  SplitMix64 rng(seed);
+  for (auto& x : m) x = rng.uniform() - 0.5;
+  return m;
+}
+
+void expect_close(const std::vector<double>& a,
+                  const std::vector<double>& b, double tol = 1e-10) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "element " << i;
+  }
+}
+
+TEST(Dgemm, TinyKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{5, 6, 7, 8};
+  std::vector<double> c(4, 0.0);
+  dgemm(2, 2, 2, a.data(), 2, b.data(), 2, c.data(), 2);
+  expect_close(c, {19, 22, 43, 50});
+}
+
+TEST(Dgemm, AccumulatesIntoC) {
+  const std::vector<double> a{1, 0, 0, 1};
+  const std::vector<double> b{2, 3, 4, 5};
+  std::vector<double> c{10, 10, 10, 10};
+  dgemm(2, 2, 2, a.data(), 2, b.data(), 2, c.data(), 2);
+  expect_close(c, {12, 13, 14, 15});
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+class DgemmShapeTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(DgemmShapeTest, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(m, k, 1);
+  const auto b = random_matrix(k, n, 2);
+  std::vector<double> c_blocked(m * n, 0.5);
+  std::vector<double> c_naive(m * n, 0.5);
+  dgemm(m, n, k, a.data(), k, b.data(), n, c_blocked.data(), n);
+  dgemm_naive(m, n, k, a.data(), k, b.data(), n, c_naive.data(), n);
+  expect_close(c_blocked, c_naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmShapeTest,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{3, 5, 7},
+                      GemmCase{16, 16, 16}, GemmCase{64, 64, 64},
+                      GemmCase{65, 63, 130},  // straddles all block sizes
+                      GemmCase{128, 256, 128}, GemmCase{100, 1, 50},
+                      GemmCase{1, 300, 20}));
+
+TEST(Dgemm, StridedSubmatrix) {
+  // Multiply a 2x2 corner embedded in 4-wide storage.
+  const std::size_t ld = 4;
+  std::vector<double> a(2 * ld, 0.0), b(2 * ld, 0.0), c(2 * ld, 0.0);
+  a[0] = 1;
+  a[1] = 2;
+  a[ld] = 3;
+  a[ld + 1] = 4;
+  b[0] = 5;
+  b[1] = 6;
+  b[ld] = 7;
+  b[ld + 1] = 8;
+  dgemm(2, 2, 2, a.data(), ld, b.data(), ld, c.data(), ld);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[ld], 43);
+  EXPECT_DOUBLE_EQ(c[ld + 1], 50);
+  // Untouched cells stay zero.
+  EXPECT_DOUBLE_EQ(c[2], 0);
+  EXPECT_DOUBLE_EQ(c[ld + 3], 0);
+}
+
+}  // namespace

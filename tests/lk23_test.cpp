@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "apps/lk23.hpp"
+
+namespace {
+
+using namespace orwl::apps;
+
+orwl::rt::ProgramOptions quiet() {
+  orwl::rt::ProgramOptions o;
+  o.affinity = orwl::rt::AffinityMode::Off;
+  o.acquire_timeout_ms = 30000;
+  return o;
+}
+
+TEST(Lk23, GenerateValidatesSize) {
+  EXPECT_THROW(Lk23Problem::generate(2), std::invalid_argument);
+  const auto p = Lk23Problem::generate(8);
+  EXPECT_EQ(p.za.size(), 64u);
+}
+
+TEST(Lk23, SequentialChangesInterior) {
+  auto p = Lk23Problem::generate(16);
+  const auto before = p.za;
+  lk23_sequential(p, 3);
+  // Boundary ring untouched.
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(p.za[k], before[k]);
+    EXPECT_EQ(p.za[15 * 16 + k], before[15 * 16 + k]);
+    EXPECT_EQ(p.za[k * 16], before[k * 16]);
+    EXPECT_EQ(p.za[k * 16 + 15], before[k * 16 + 15]);
+  }
+  // Interior changed somewhere.
+  EXPECT_NE(p.za, before);
+}
+
+TEST(Lk23, SequentialIsDeterministic) {
+  auto p1 = Lk23Problem::generate(20);
+  auto p2 = Lk23Problem::generate(20);
+  lk23_sequential(p1, 5);
+  lk23_sequential(p2, 5);
+  EXPECT_EQ(p1.za, p2.za);
+}
+
+struct Lk23Case {
+  std::size_t n, iters, by, bx;
+};
+
+class Lk23OrwlTest : public ::testing::TestWithParam<Lk23Case> {};
+
+TEST_P(Lk23OrwlTest, BitIdenticalToSequential) {
+  const auto [n, iters, by, bx] = GetParam();
+  auto seq = Lk23Problem::generate(n);
+  auto par = Lk23Problem::generate(n);
+  ASSERT_EQ(seq.za, par.za);
+  lk23_sequential(seq, iters);
+  lk23_orwl(par, iters, by, bx, quiet());
+  EXPECT_EQ(seq.za, par.za) << "Gauss-Seidel wavefront must reproduce the "
+                               "sequential sweep exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lk23OrwlTest,
+    ::testing::Values(Lk23Case{10, 1, 1, 1},   // single block
+                      Lk23Case{10, 3, 2, 2},   // 2x2 blocks
+                      Lk23Case{18, 4, 2, 4},   // rectangular grid
+                      Lk23Case{18, 4, 4, 2},
+                      Lk23Case{33, 2, 3, 3},   // uneven block sizes
+                      Lk23Case{16, 6, 1, 4},   // column strips
+                      Lk23Case{16, 6, 4, 1},   // row strips
+                      Lk23Case{40, 2, 5, 5}));
+
+class Lk23ForkJoinTest : public ::testing::TestWithParam<Lk23Case> {};
+
+TEST_P(Lk23ForkJoinTest, BitIdenticalToSequential) {
+  const auto [n, iters, by, bx] = GetParam();
+  auto seq = Lk23Problem::generate(n);
+  auto par = Lk23Problem::generate(n);
+  lk23_sequential(seq, iters);
+  orwl::pool::ThreadPool pool(4);
+  lk23_forkjoin(par, iters, by, bx, pool);
+  EXPECT_EQ(seq.za, par.za);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lk23ForkJoinTest,
+    ::testing::Values(Lk23Case{10, 3, 2, 2}, Lk23Case{18, 4, 3, 2},
+                      Lk23Case{33, 2, 4, 4}, Lk23Case{16, 5, 1, 1}));
+
+TEST(Lk23, OrwlRejectsBadBlockGrid) {
+  auto p = Lk23Problem::generate(8);
+  EXPECT_THROW(lk23_orwl(p, 1, 0, 2, quiet()), std::invalid_argument);
+  EXPECT_THROW(lk23_orwl(p, 1, 7, 1, quiet()), std::invalid_argument);
+}
+
+TEST(Lk23, OrwlWithAffinityEnabledStillCorrect) {
+  // End-to-end: the affinity module on, real binding on the host.
+  auto seq = Lk23Problem::generate(24);
+  auto par = Lk23Problem::generate(24);
+  lk23_sequential(seq, 3);
+  orwl::rt::ProgramOptions o;
+  o.affinity = orwl::rt::AffinityMode::On;
+  o.acquire_timeout_ms = 30000;
+  lk23_orwl(par, 3, 2, 2, o);
+  EXPECT_EQ(seq.za, par.za);
+}
+
+TEST(Lk23, OpsCommMatrixStructure) {
+  // 2x2 blocks -> 16 threads. Check the signature structure of the
+  // paper's decomposition: the 4 ops of one block communicate heavily;
+  // neighbor blocks only via thin halos.
+  const std::size_t n = 66;  // 64x64 interior, 32x32 blocks
+  const auto m = lk23_ops_comm_matrix(n, 2, 2);
+  ASSERT_EQ(m.order(), 16u);
+
+  // Intra-block: center (4b) <-> border handlers (4b+1, 4b+2) move whole
+  // blocks; gatherer (4b+3) -> center moves the halo frame.
+  const double block_bytes = 32.0 * 32.0 * 8.0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(m.at(4 * b, 4 * b + 1), block_bytes);
+    EXPECT_DOUBLE_EQ(m.at(4 * b, 4 * b + 2), block_bytes);
+    EXPECT_GT(m.at(4 * b, 4 * b + 3), 0.0);
+  }
+  // Inter-block: gatherer of block 0 reads halos from block 1 (east) and
+  // block 2 (south) border handlers.
+  EXPECT_GT(m.at(3, 4 + 2), 0.0);   // block0 gatherer <- block1 col-handler
+  EXPECT_GT(m.at(3, 8 + 1), 0.0);   // block0 gatherer <- block2 row-handler
+  // No direct center-center communication.
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 0.0);
+  // Intra-block volume dominates inter-block volume.
+  double intra = 0, inter = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      if (i / 4 == j / 4) {
+        intra += m.at(i, j);
+      } else {
+        inter += m.at(i, j);
+      }
+    }
+  }
+  EXPECT_GT(intra, 5.0 * inter);
+}
+
+}  // namespace

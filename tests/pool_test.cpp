@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "pool/thread_pool.hpp"
+#include "topo/binding.hpp"
+#include "topo/machines.hpp"
+
+namespace {
+
+using namespace orwl::pool;
+using orwl::tm::Strategy;
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SizeCountsMaster) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndStatic) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::array<std::size_t, 3>> chunks;
+  pool.parallel_chunks(0, 10, [&](std::size_t tid, std::size_t b,
+                                  std::size_t e) {
+    std::unique_lock lock(mu);
+    chunks.push_back({tid, b, e});
+  });
+  ASSERT_EQ(chunks.size(), 3u);
+  std::sort(chunks.begin(), chunks.end());
+  // OpenMP static: 10 over 3 threads -> 4,3,3.
+  EXPECT_EQ(chunks[0], (std::array<std::size_t, 3>{0, 0, 4}));
+  EXPECT_EQ(chunks[1], (std::array<std::size_t, 3>{1, 4, 7}));
+  EXPECT_EQ(chunks[2], (std::array<std::size_t, 3>{2, 7, 10}));
+}
+
+TEST(ThreadPool, ParallelRunsEveryThreadOnce) {
+  ThreadPool pool(6);
+  std::mutex mu;
+  std::set<std::size_t> tids;
+  pool.parallel([&](std::size_t tid) {
+    std::unique_lock lock(mu);
+    tids.insert(tid);
+  });
+  EXPECT_EQ(tids.size(), 6u);
+  EXPECT_TRUE(tids.count(0));  // master participates
+}
+
+TEST(ThreadPool, MultipleRegionsReuseWorkers) {
+  ThreadPool pool(4);
+  long sum = 0;
+  std::mutex mu;
+  for (int r = 0; r < 10; ++r) {
+    pool.parallel_for(0, 100, [&](std::size_t i) {
+      std::unique_lock lock(mu);
+      sum += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(sum, 10 * 4950);
+  EXPECT_EQ(pool.regions(), 10u);
+}
+
+TEST(ThreadPool, BindingCompactCores) {
+  const int ncpu = orwl::topo::host_cpu_count();
+  const std::size_t n = std::min(4, ncpu);
+  PoolOptions opts;
+  opts.strategy = Strategy::CompactCores;
+  ThreadPool pool(n, opts);
+  // Threads must observe their assigned CPU.
+  std::mutex mu;
+  std::vector<int> cpu_of(n, -1);
+  pool.parallel([&](std::size_t tid) {
+    std::unique_lock lock(mu);
+    cpu_of[tid] = orwl::topo::current_cpu();
+  });
+  for (std::size_t t = 0; t < n; ++t) {
+    if (pool.bindings()[t] >= 0) {
+      EXPECT_EQ(cpu_of[t], pool.bindings()[t]) << "thread " << t;
+    }
+  }
+}
+
+TEST(ThreadPool, NoneStrategyLeavesUnbound) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.bindings(), (std::vector<int>{-1, -1}));
+}
+
+TEST(ThreadPool, ScatterStrategyOnSyntheticTopologyWithoutBinding) {
+  const auto t = orwl::topo::make_smp20e7();
+  PoolOptions opts;
+  opts.strategy = Strategy::ScatterCores;
+  opts.topology = &t;
+  opts.bind_threads = false;  // synthetic machine, no real binding
+  ThreadPool pool(8, opts);
+  // 8 threads scattered over 20 NUMA nodes: all on distinct nodes.
+  std::set<int> nodes;
+  for (int pu : pool.bindings()) {
+    ASSERT_GE(pu, 0);
+    nodes.insert(pu / 8);
+  }
+  EXPECT_EQ(nodes.size(), 8u);
+}
+
+TEST(ThreadPool, ExceptionSafetyNestedWork) {
+  // The pool must survive heavy nested usage patterns.
+  ThreadPool pool(4);
+  std::atomic<long> acc{0};
+  pool.parallel_for(0, 64, [&](std::size_t i) {
+    acc.fetch_add(static_cast<long>(i % 7));
+  });
+  pool.parallel_for(0, 64, [&](std::size_t i) {
+    acc.fetch_add(static_cast<long>(i % 3));
+  });
+  EXPECT_GT(acc.load(), 0);
+}
+
+}  // namespace

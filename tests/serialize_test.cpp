@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "topo/machines.hpp"
+#include "topo/serialize.hpp"
+
+namespace {
+
+using namespace orwl::topo;
+
+TEST(Serialize, EmptyTopologyIsEmptyString) {
+  EXPECT_EQ(serialize(Topology{}), "");
+}
+
+TEST(Serialize, FlatMachineFormat) {
+  const Topology t = make_flat(2);
+  const std::string s = serialize(t);
+  EXPECT_NE(s.find("machine name=\"flat-2\""), std::string::npos);
+  EXPECT_NE(s.find("  Core"), std::string::npos);
+  EXPECT_NE(s.find("    PU os=0"), std::string::npos);
+  EXPECT_NE(s.find("    PU os=1"), std::string::npos);
+}
+
+TEST(Serialize, CacheSizesSerialized) {
+  const Topology t = make_numa(1, 1, 1, 4 * 1024 * 1024);
+  const std::string s = serialize(t);
+  EXPECT_NE(s.find("L3 size=4194304"), std::string::npos);
+}
+
+struct RoundTripCase {
+  const char* name;
+  Topology (*factory)();
+};
+
+class SerializeRoundTripTest
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(SerializeRoundTripTest, ParseSerializeIsIdentity) {
+  const Topology original = GetParam().factory();
+  const std::string text = serialize(original);
+  const Topology parsed = parse_topology(text);
+
+  EXPECT_EQ(parsed.num_pus(), original.num_pus());
+  EXPECT_EQ(parsed.num_cores(), original.num_cores());
+  EXPECT_EQ(parsed.depth(), original.depth());
+  EXPECT_EQ(parsed.has_hyperthreads(), original.has_hyperthreads());
+  EXPECT_EQ(parsed.name(), original.name());
+  // Structure identical => identical re-serialization.
+  EXPECT_EQ(serialize(parsed), text);
+  // Distances preserved (spot checks across the tree).
+  const std::size_t n = original.num_pus();
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 7)) {
+    for (std::size_t j = i; j < n; j += std::max<std::size_t>(1, n / 5)) {
+      EXPECT_EQ(parsed.distance(static_cast<int>(i), static_cast<int>(j)),
+                original.distance(static_cast<int>(i),
+                                  static_cast<int>(j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, SerializeRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"flat", [] { return make_flat(4); }},
+        RoundTripCase{"numa", [] { return make_numa(2, 4, 2); }},
+        RoundTripCase{"smp12e5", &make_smp12e5},
+        RoundTripCase{"smp20e7", &make_smp20e7},
+        RoundTripCase{"fig2", &make_fig2_machine}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Parse, NamesWithSpacesSurvive) {
+  const Topology t = make_fig2_machine();
+  const Topology parsed = parse_topology(serialize(t));
+  const int gd = parsed.depth_of_type(ObjType::Group);
+  ASSERT_GE(gd, 0);
+  EXPECT_EQ(parsed.at_depth(gd)[0]->name, "Blade 0");
+  const int pd = parsed.depth_of_type(ObjType::Package);
+  EXPECT_EQ(parsed.at_depth(pd)[3]->name, "Socket 3");
+}
+
+TEST(Parse, HandwrittenTopology) {
+  const Topology t = parse_topology(
+      "machine name=\"box\"\n"
+      "  NUMANode os=0\n"
+      "    Core os=0\n"
+      "      PU os=0\n"
+      "      PU os=1\n"
+      "  NUMANode os=1\n"
+      "    Core os=1\n"
+      "      PU os=2\n"
+      "      PU os=3\n");
+  EXPECT_EQ(t.num_pus(), 4u);
+  EXPECT_EQ(t.num_cores(), 2u);
+  EXPECT_TRUE(t.has_hyperthreads());
+  EXPECT_EQ(t.name(), "box");
+  EXPECT_EQ(t.sharing_depth(0, 1), 2);  // same core
+  EXPECT_EQ(t.sharing_depth(0, 2), 0);  // across NUMA
+}
+
+TEST(Parse, BlankLinesIgnored) {
+  EXPECT_NO_THROW(parse_topology(
+      "machine\n\n  Core\n\n    PU\n  Core\n    PU\n"));
+}
+
+TEST(Parse, Malformed) {
+  // Missing machine root.
+  EXPECT_THROW(parse_topology("  Core\n    PU\n"), std::invalid_argument);
+  // Odd indentation.
+  EXPECT_THROW(parse_topology("machine\n Core\n"), std::invalid_argument);
+  // Indentation jump.
+  EXPECT_THROW(parse_topology("machine\n      PU\n"),
+               std::invalid_argument);
+  // Unknown type.
+  EXPECT_THROW(parse_topology("machine\n  Blob\n"), std::invalid_argument);
+  // Unknown attribute.
+  EXPECT_THROW(parse_topology("machine\n  Core x=1\n    PU\n"),
+               std::invalid_argument);
+  // Unquoted name.
+  EXPECT_THROW(parse_topology("machine name=box\n  Core\n    PU\n"),
+               std::invalid_argument);
+  // Bad number.
+  EXPECT_THROW(parse_topology("machine\n  Core os=abc\n    PU\n"),
+               std::invalid_argument);
+  // Empty.
+  EXPECT_THROW(parse_topology(""), std::invalid_argument);
+  // Structurally invalid (leaf above PU level) is caught by validation.
+  EXPECT_THROW(parse_topology("machine\n  Core\n  Core\n    PU\n"),
+               std::invalid_argument);
+}
+
+TEST(DistanceMatrix, SymmetricZeroDiagonal) {
+  const Topology t = make_numa(2, 2, 2);
+  const auto m = distance_matrix(t);
+  const std::size_t n = t.num_pus();
+  ASSERT_EQ(m.size(), n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m[i * n + i], 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(m[i * n + j], m[j * n + i]);
+    }
+  }
+  // Known values: siblings 2, same node 4/..., across nodes max.
+  EXPECT_EQ(m[0 * n + 1], 2);
+  EXPECT_EQ(m[0 * n + 4], 8);
+}
+
+TEST(DistanceMatrix, TriangleInequalityOnTree) {
+  // Tree metrics satisfy the four-point condition; spot-check the
+  // triangle inequality on the big machine.
+  const Topology t = make_smp12e5();
+  const auto m = distance_matrix(t);
+  const std::size_t n = t.num_pus();
+  for (std::size_t i = 0; i < n; i += 37) {
+    for (std::size_t j = 0; j < n; j += 41) {
+      for (std::size_t k = 0; k < n; k += 43) {
+        EXPECT_LE(m[i * n + j], m[i * n + k] + m[k * n + j]);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "sim/simulator.hpp"
+#include "treematch/strategies.hpp"
+
+namespace {
+
+using namespace orwl;
+using namespace orwl::sim;
+
+Workload small_ring(std::size_t threads, double bytes) {
+  Workload w;
+  w.name = "ring";
+  w.num_threads = threads;
+  w.comm = tm::CommMatrix(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    w.comm.add(t, (t + 1) % threads, bytes);
+  }
+  w.flops.assign(threads, 1e9);
+  w.stream_bytes.assign(threads, 1e6);
+  w.shared_bytes.assign(threads, 0.0);
+  w.wset_bytes.assign(threads, 1e6);
+  w.iterations = 10;
+  return w;
+}
+
+BindSpec bind_with(tm::Strategy s, const MachineModel& m,
+                   const Workload& w) {
+  return BindSpec::bound(
+      tm::place_strategy(s, m.topology, w.num_threads, &w.comm));
+}
+
+// ---------------------------------------------------------- validation ----
+
+TEST(Simulator, RejectsEmptyWorkload) {
+  const MachineModel m = MachineModel::smp12e5();
+  EXPECT_THROW(simulate(m, Workload{}, BindSpec::os_scheduled()),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RejectsMismatchedVectors) {
+  const MachineModel m = MachineModel::smp12e5();
+  Workload w = small_ring(4, 1e6);
+  w.flops.resize(3);
+  EXPECT_THROW(simulate(m, w, BindSpec::os_scheduled()),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RejectsShortPlacement) {
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = small_ring(8, 1e6);
+  tm::Placement p;
+  p.compute_pu = {0, 1};
+  EXPECT_THROW(simulate(m, w, BindSpec::bound(p)), std::invalid_argument);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = small_ring(16, 1e7);
+  const SimResult a = simulate(m, w, BindSpec::os_scheduled(7));
+  const SimResult b = simulate(m, w, BindSpec::os_scheduled(7));
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.counters.l3_misses, b.counters.l3_misses);
+  EXPECT_DOUBLE_EQ(a.counters.cpu_migrations, b.counters.cpu_migrations);
+}
+
+// ---------------------------------------------------- paper properties ----
+
+TEST(Simulator, BoundPlacementHasZeroMigrations) {
+  // Tables II-IV: "CPU migration is reduced to 0 when enabling the
+  // affinity strategies".
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = small_ring(32, 1e7);
+  const SimResult bound = simulate(m, w, bind_with(tm::Strategy::TreeMatch, m, w));
+  EXPECT_DOUBLE_EQ(bound.counters.cpu_migrations, 0.0);
+  const SimResult os = simulate(m, w, BindSpec::os_scheduled());
+  EXPECT_GT(os.counters.cpu_migrations, 0.0);
+}
+
+TEST(Simulator, TreeMatchBeatsScatterOnCommHeavyRing) {
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = small_ring(64, 5e8);
+  const SimResult tmr = simulate(m, w, bind_with(tm::Strategy::TreeMatch, m, w));
+  const SimResult sc =
+      simulate(m, w, bind_with(tm::Strategy::ScatterCores, m, w));
+  EXPECT_LT(tmr.seconds, sc.seconds);
+  EXPECT_LT(tmr.counters.l3_misses, sc.counters.l3_misses);
+}
+
+TEST(Simulator, AffinityReducesMissesVsOsScheduling) {
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = orwl::apps::lk23_orwl_workload(1024, 4, 32);
+  const SimResult bound = simulate(m, w, bind_with(tm::Strategy::TreeMatch, m, w));
+  const SimResult os = simulate(m, w, BindSpec::os_scheduled());
+  EXPECT_LT(bound.counters.l3_misses, os.counters.l3_misses);
+  EXPECT_LT(bound.seconds, os.seconds);
+}
+
+TEST(Simulator, StallsTrackMisses) {
+  // "There is a strong correlation between cache misses and cycle
+  // stalls: each cache miss leads to a loss of about 10 to 14 cycles."
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload w = orwl::apps::lk23_orwl_workload(1024, 4, 32);
+  for (const auto& bind :
+       {BindSpec::os_scheduled(), bind_with(tm::Strategy::TreeMatch, m, w)}) {
+    const SimResult r = simulate(m, w, bind);
+    ASSERT_GT(r.counters.l3_misses, 0.0);
+    const double cycles_per_miss =
+        r.counters.stalled_cycles / r.counters.l3_misses;
+    EXPECT_GE(cycles_per_miss, 5.0);
+    EXPECT_LE(cycles_per_miss, 60.0);
+  }
+}
+
+TEST(Simulator, PipelineHasFarMoreContextSwitchesThanForkJoin) {
+  // Table II: ORWL ~1e5 context switches vs OpenMP ~1e2-1e3.
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload orwl_w = orwl::apps::lk23_orwl_workload(1024, 10, 64);
+  const Workload omp_w = orwl::apps::lk23_forkjoin_workload(1024, 10, 64);
+  const SimResult r_orwl = simulate(m, orwl_w, BindSpec::os_scheduled());
+  const SimResult r_omp = simulate(m, omp_w, BindSpec::os_scheduled());
+  EXPECT_GT(r_orwl.counters.context_switches,
+            20.0 * r_omp.counters.context_switches);
+}
+
+TEST(Simulator, SequentialSlowerThanParallel) {
+  const MachineModel m = MachineModel::smp12e5();
+  const auto p = orwl::apps::video_hd();
+  const Workload seq = orwl::apps::video_sequential_workload(p);
+  const Workload par = orwl::apps::video_orwl_workload(p);
+  tm::Placement pl = tm::place_strategy(tm::Strategy::TreeMatch, m.topology,
+                                        par.num_threads, &par.comm);
+  const SimResult r_seq = simulate(m, seq, BindSpec::os_scheduled());
+  const SimResult r_par = simulate(m, par, BindSpec::bound(pl));
+  EXPECT_LT(r_par.seconds, r_seq.seconds);
+}
+
+TEST(Simulator, MoreCoresHelpBoundDenseCompute) {
+  const MachineModel m = MachineModel::smp12e5();
+  double prev_gflops = 0.0;
+  for (std::size_t threads : {8u, 16u, 32u, 64u}) {
+    const Workload w = orwl::apps::matmul_orwl_workload(4096, threads);
+    const SimResult r = simulate(m, w, bind_with(tm::Strategy::TreeMatch, m, w));
+    EXPECT_GT(r.gflops(), prev_gflops)
+        << "no scaling at " << threads << " threads";
+    prev_gflops = r.gflops();
+  }
+}
+
+TEST(Simulator, MklStagnatesAcrossSockets) {
+  // Fig. 5: the MKL-style shared-B baseline stops scaling past a socket
+  // while the ORWL ring keeps going.
+  const MachineModel m = MachineModel::smp12e5();
+  const Workload mkl8 = orwl::apps::matmul_mkl_workload(8192, 8);
+  const Workload mkl64 = orwl::apps::matmul_mkl_workload(8192, 64);
+  const SimResult r8 =
+      simulate(m, mkl8, bind_with(tm::Strategy::ScatterCores, m, mkl8));
+  const SimResult r64 =
+      simulate(m, mkl64, bind_with(tm::Strategy::ScatterCores, m, mkl64));
+  const Workload orwl64 = orwl::apps::matmul_orwl_workload(8192, 64);
+  const SimResult o64 =
+      simulate(m, orwl64, bind_with(tm::Strategy::TreeMatch, m, orwl64));
+  // MKL scaling from 8 -> 64 cores stays well below the ideal 8x; ORWL
+  // with the affinity module clearly beats the best MKL configuration.
+  EXPECT_LT(r64.gflops(), 5.0 * r8.gflops());
+  EXPECT_GT(o64.gflops(), 1.3 * r64.gflops());
+}
+
+TEST(Simulator, HyperthreadedMachineBenefitsMoreFromAffinity) {
+  // Sec. VI-B3: "the improvement is even greater on the SMP12E5 (with
+  // hyper-threading) than on the SMP20E7 (without)".
+  const auto p = orwl::apps::video_hd();
+  const Workload w12 = orwl::apps::video_orwl_workload(p);
+  const MachineModel m12 = restricted(MachineModel::smp12e5(), 4);
+  const MachineModel m20 = restricted(MachineModel::smp20e7(), 4);
+
+  auto gain = [&](const MachineModel& m) {
+    tm::Options opts;
+    opts.num_control_threads = w12.control_threads;
+    const tm::Placement pl = tm::tree_match(m.topology, w12.comm, opts);
+    const SimResult bound = simulate(m, w12, BindSpec::bound(pl));
+    const SimResult os = simulate(m, w12, BindSpec::os_scheduled());
+    return os.seconds / bound.seconds;
+  };
+  EXPECT_GT(gain(m12), gain(m20));
+  EXPECT_GT(gain(m20), 1.0);
+}
+
+// ------------------------------------------------------ machine model ----
+
+TEST(MachineModel, PresetsMatchTableI) {
+  const MachineModel a = MachineModel::smp12e5();
+  EXPECT_EQ(a.topology.num_cores(), 96u);
+  EXPECT_TRUE(a.topology.has_hyperthreads());
+  EXPECT_EQ(a.os_policy, OsPolicy::NumaPack);
+  EXPECT_DOUBLE_EQ(a.interconnect_gbps, 6.5);
+
+  const MachineModel b = MachineModel::smp20e7();
+  EXPECT_EQ(b.topology.num_cores(), 160u);
+  EXPECT_FALSE(b.topology.has_hyperthreads());
+  EXPECT_EQ(b.os_policy, OsPolicy::EvenSpread);
+  EXPECT_DOUBLE_EQ(b.interconnect_gbps, 15.0);
+}
+
+TEST(MachineModel, RestrictedKeepsParametersShrinksTopology) {
+  const MachineModel m = restricted(MachineModel::smp12e5(), 4);
+  EXPECT_EQ(m.topology.num_cores(), 32u);
+  EXPECT_EQ(m.topology.num_pus(), 64u);  // hyperthreads preserved
+  EXPECT_DOUBLE_EQ(m.interconnect_gbps, 6.5);
+  EXPECT_THROW(restricted(MachineModel::smp12e5(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace

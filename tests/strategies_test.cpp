@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/machines.hpp"
+#include "treematch/strategies.hpp"
+
+namespace {
+
+using namespace orwl::tm;
+using namespace orwl::topo;
+
+TEST(Strategies, NoneLeavesAllUnbound) {
+  const Topology t = make_numa(2, 4, 1);
+  const Placement p = place_strategy(Strategy::None, t, 5);
+  ASSERT_EQ(p.compute_pu.size(), 5u);
+  for (int pu : p.compute_pu) EXPECT_EQ(pu, -1);
+}
+
+TEST(Strategies, CompactFillsPusInOsOrder) {
+  const Topology t = make_numa(2, 2, 2);  // 8 PUs
+  const Placement p = place_strategy(Strategy::Compact, t, 4);
+  EXPECT_EQ(p.compute_pu, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Strategies, CompactUsesHyperthreadSiblingsFirst) {
+  // On the HT machine, compact packs both PUs of core 0 before core 1 -
+  // the behavior the paper blames for MKL-compact's poor compute-bound
+  // performance.
+  const Topology t = make_numa(2, 2, 2);
+  const Placement p = place_strategy(Strategy::Compact, t, 2);
+  const Object* a = t.pu_by_os_index(p.compute_pu[0]);
+  const Object* b = t.pu_by_os_index(p.compute_pu[1]);
+  EXPECT_EQ(a->parent, b->parent) << "expected hyperthread siblings";
+}
+
+TEST(Strategies, CompactCoresUsesOnePuPerCore) {
+  const Topology t = make_numa(2, 2, 2);
+  const Placement p = place_strategy(Strategy::CompactCores, t, 4);
+  std::set<const Object*> used_cores;
+  for (int pu : p.compute_pu) {
+    const Object* o = t.pu_by_os_index(pu);
+    used_cores.insert(o->ancestor_of_type(ObjType::Core));
+  }
+  EXPECT_EQ(used_cores.size(), 4u);
+}
+
+TEST(Strategies, CompactCoresStaysOnFirstNodeWhenPossible) {
+  const Topology t = make_numa(2, 4, 1);
+  const Placement p = place_strategy(Strategy::CompactCores, t, 4);
+  for (int pu : p.compute_pu) {
+    const Object* o = t.pu_by_os_index(pu);
+    EXPECT_EQ(o->ancestor_of_type(ObjType::NumaNode)->logical_index, 0);
+  }
+}
+
+TEST(Strategies, ScatterSpreadsAcrossNumaNodesFirst) {
+  const Topology t = make_numa(4, 4, 1);
+  const Placement p = place_strategy(Strategy::Scatter, t, 4);
+  std::set<int> nodes;
+  for (int pu : p.compute_pu) {
+    const Object* o = t.pu_by_os_index(pu);
+    nodes.insert(o->ancestor_of_type(ObjType::NumaNode)->logical_index);
+  }
+  EXPECT_EQ(nodes.size(), 4u) << "4 threads must land on 4 distinct nodes";
+}
+
+TEST(Strategies, ScatterBalancesLoadAcrossNodes) {
+  const Topology t = make_numa(4, 4, 1);
+  const Placement p = place_strategy(Strategy::Scatter, t, 8);
+  std::map<int, int> per_node;
+  for (int pu : p.compute_pu) {
+    const Object* o = t.pu_by_os_index(pu);
+    per_node[o->ancestor_of_type(ObjType::NumaNode)->logical_index]++;
+  }
+  for (const auto& [node, n] : per_node) EXPECT_EQ(n, 2) << "node " << node;
+}
+
+TEST(Strategies, ScatterCoresAvoidsHyperthreadSiblings) {
+  const Topology t = make_numa(2, 2, 2);
+  const Placement p = place_strategy(Strategy::ScatterCores, t, 4);
+  std::set<const Object*> cores;
+  for (int pu : p.compute_pu) {
+    const Object* o = t.pu_by_os_index(pu);
+    // Each thread on the first PU of a distinct core.
+    EXPECT_EQ(o->parent->children.front().get(), o);
+    cores.insert(o->parent);
+  }
+  EXPECT_EQ(cores.size(), 4u);
+}
+
+TEST(Strategies, OversubscriptionWrapsRoundRobin) {
+  const Topology t = make_numa(1, 2, 1);  // 2 PUs
+  const Placement p = place_strategy(Strategy::Compact, t, 5);
+  EXPECT_TRUE(p.oversubscribed);
+  EXPECT_EQ(p.compute_pu, (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(Strategies, TreeMatchRequiresMatrix) {
+  const Topology t = make_numa(2, 2, 1);
+  EXPECT_THROW(place_strategy(Strategy::TreeMatch, t, 4),
+               std::invalid_argument);
+  const CommMatrix wrong(3);
+  EXPECT_THROW(place_strategy(Strategy::TreeMatch, t, 4, &wrong),
+               std::invalid_argument);
+}
+
+TEST(Strategies, TreeMatchDelegates) {
+  const Topology t = make_numa(2, 2, 1);
+  CommMatrix m(4);
+  m.set(0, 1, 100.0);
+  m.set(2, 3, 100.0);
+  const Placement p = place_strategy(Strategy::TreeMatch, t, 4, &m);
+  EXPECT_TRUE(p.valid_for(t));
+  // Heavy pairs on same node.
+  const Object* a = t.pu_by_os_index(p.compute_pu[0]);
+  const Object* b = t.pu_by_os_index(p.compute_pu[1]);
+  EXPECT_NE(t.common_ancestor(*a, *b)->type, ObjType::Machine);
+}
+
+TEST(Strategies, ZeroThreadsRejected) {
+  const Topology t = make_numa(1, 2, 1);
+  EXPECT_THROW(place_strategy(Strategy::Compact, t, 0),
+               std::invalid_argument);
+}
+
+TEST(Strategies, ParseRoundTrip) {
+  for (Strategy s :
+       {Strategy::None, Strategy::Compact, Strategy::CompactCores,
+        Strategy::Scatter, Strategy::ScatterCores, Strategy::TreeMatch}) {
+    EXPECT_EQ(parse_strategy(to_string(s)), s);
+  }
+  EXPECT_EQ(parse_strategy("close"), Strategy::CompactCores);
+  EXPECT_EQ(parse_strategy("spread"), Strategy::ScatterCores);
+  EXPECT_EQ(parse_strategy("affinity"), Strategy::TreeMatch);
+  EXPECT_THROW(parse_strategy("bogus"), std::invalid_argument);
+}
+
+TEST(Strategies, ScatterOnPaperMachine) {
+  // On SMP12E5, scatter over PUs with 12 threads uses all 12 NUMA nodes.
+  const Topology t = make_smp12e5();
+  const Placement p = place_strategy(Strategy::Scatter, t, 12);
+  std::set<int> nodes;
+  for (int pu : p.compute_pu) {
+    nodes.insert(t.pu_by_os_index(pu)
+                     ->ancestor_of_type(ObjType::NumaNode)
+                     ->logical_index);
+  }
+  EXPECT_EQ(nodes.size(), 12u);
+}
+
+}  // namespace

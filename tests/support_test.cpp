@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace orwl::support;
+
+// ---------------------------------------------------------------- env ----
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("ORWL_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, UnsetReturnsNullopt) {
+  unsetenv("ORWL_TEST_VAR");
+  EXPECT_FALSE(env_string("ORWL_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, SetReturnsValue) {
+  setenv("ORWL_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("ORWL_TEST_VAR").value(), "hello");
+}
+
+TEST_F(EnvTest, BoolTruthySpellings) {
+  for (const char* v : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    setenv("ORWL_TEST_VAR", v, 1);
+    EXPECT_TRUE(env_bool("ORWL_TEST_VAR", false)) << v;
+  }
+}
+
+TEST_F(EnvTest, BoolFalsySpellings) {
+  for (const char* v : {"0", "false", "no", "off", ""}) {
+    setenv("ORWL_TEST_VAR", v, 1);
+    EXPECT_FALSE(env_bool("ORWL_TEST_VAR", true)) << '"' << v << '"';
+  }
+}
+
+TEST_F(EnvTest, BoolFallbackOnGarbage) {
+  setenv("ORWL_TEST_VAR", "banana", 1);
+  EXPECT_TRUE(env_bool("ORWL_TEST_VAR", true));
+  EXPECT_FALSE(env_bool("ORWL_TEST_VAR", false));
+}
+
+TEST_F(EnvTest, BoolFallbackOnUnset) {
+  unsetenv("ORWL_TEST_VAR");
+  EXPECT_TRUE(env_bool("ORWL_TEST_VAR", true));
+  EXPECT_FALSE(env_bool("ORWL_TEST_VAR", false));
+}
+
+TEST_F(EnvTest, LongParsesAndFallsBack) {
+  setenv("ORWL_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_long("ORWL_TEST_VAR", -1), 42);
+  setenv("ORWL_TEST_VAR", "-7", 1);
+  EXPECT_EQ(env_long("ORWL_TEST_VAR", -1), -7);
+  setenv("ORWL_TEST_VAR", "12x", 1);
+  EXPECT_EQ(env_long("ORWL_TEST_VAR", -1), -1);
+  unsetenv("ORWL_TEST_VAR");
+  EXPECT_EQ(env_long("ORWL_TEST_VAR", 99), 99);
+}
+
+TEST(IEquals, Basics) {
+  EXPECT_TRUE(iequals("TreeMatch", "treematch"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(g.below(13), 13u);
+  }
+}
+
+TEST(SplitMix64, UniformIsInUnitInterval) {
+  SplitMix64 g(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, BelowIsRoughlyUniform) {
+  SplitMix64 g(5);
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) counts[g.below(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanMedian) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  const std::vector<double> even{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs{1, 4, 16};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"a", "bbbb"});
+  t.row({"cccc", "d"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("a    | bbbb"), std::string::npos);
+  EXPECT_NE(s.find("cccc | d"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsRenderEmptyCells) {
+  TextTable t;
+  t.header({"x", "y", "z"});
+  t.row({"1"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTable, SeparatorEmitsRule) {
+  TextTable t;
+  t.header({"h"});
+  t.separator();
+  t.row({"v"});
+  const std::string s = t.render();
+  // Header rule + explicit separator -> at least two dashed lines.
+  std::size_t dashes = 0;
+  for (std::size_t pos = s.find("-"); pos != std::string::npos;
+       pos = s.find("\n-", pos + 1)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Format, Si) {
+  EXPECT_EQ(format_si(950, 2), "950");
+  EXPECT_EQ(format_si(1234567, 2), "1.23M");
+  EXPECT_EQ(format_si(81e9, 1), "81.0G");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(1024, 1), "1.0 KiB");
+  EXPECT_EQ(format_bytes(20480.0 * 1024, 1), "20.0 MiB");
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "topo/machines.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace orwl::topo;
+
+// ------------------------------------------------------------- build ----
+
+TEST(TopologyBuild, FlatMachine) {
+  const Topology t = make_flat(4);
+  EXPECT_EQ(t.num_pus(), 4u);
+  EXPECT_EQ(t.num_cores(), 4u);
+  EXPECT_FALSE(t.has_hyperthreads());
+  EXPECT_TRUE(t.is_symmetric());
+  EXPECT_EQ(t.depth(), 3);  // Machine, Core, PU
+}
+
+TEST(TopologyBuild, RejectsEmptySpec) {
+  EXPECT_THROW(Topology::build({}), std::invalid_argument);
+}
+
+TEST(TopologyBuild, RejectsMissingPuLevel) {
+  EXPECT_THROW(Topology::build({{ObjType::Core, 4}}), std::invalid_argument);
+}
+
+TEST(TopologyBuild, RejectsNonPositiveArity) {
+  EXPECT_THROW(Topology::build({{ObjType::Core, 0}, {ObjType::PU, 1}}),
+               std::invalid_argument);
+}
+
+TEST(TopologyBuild, RejectsOutOfOrderLevels) {
+  EXPECT_THROW(
+      Topology::build({{ObjType::PU, 2}, {ObjType::Core, 1}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Topology::build(
+          {{ObjType::Core, 2}, {ObjType::Core, 2}, {ObjType::PU, 1}}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------ presets ----
+
+TEST(Machines, Smp12e5MatchesTableI) {
+  const Topology t = make_smp12e5();
+  EXPECT_EQ(t.num_cores(), 96u);   // 12 NUMA x 8 cores
+  EXPECT_EQ(t.num_pus(), 192u);    // hyperthreaded
+  EXPECT_TRUE(t.has_hyperthreads());
+  EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::NumaNode)).size(), 12u);
+  EXPECT_EQ(t.cache_size(ObjType::L3), 20480u * 1024);
+  EXPECT_EQ(t.cache_size(ObjType::L2), 256u * 1024);
+  EXPECT_EQ(t.cache_size(ObjType::L1), 32u * 1024);
+}
+
+TEST(Machines, Smp20e7MatchesTableI) {
+  const Topology t = make_smp20e7();
+  EXPECT_EQ(t.num_cores(), 160u);  // 20 NUMA x 8 cores
+  EXPECT_EQ(t.num_pus(), 160u);    // no hyperthreading
+  EXPECT_FALSE(t.has_hyperthreads());
+  EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::NumaNode)).size(), 20u);
+  EXPECT_EQ(t.cache_size(ObjType::L3), 24576u * 1024);
+  EXPECT_EQ(t.cache_size(ObjType::L2), 32u * 1024);
+}
+
+TEST(Machines, Fig2MachineHas32CoresOn4Sockets) {
+  const Topology t = make_fig2_machine();
+  EXPECT_EQ(t.num_cores(), 32u);
+  EXPECT_EQ(t.num_pus(), 32u);
+  const int pkg_depth = t.depth_of_type(ObjType::Package);
+  ASSERT_GE(pkg_depth, 0);
+  EXPECT_EQ(t.at_depth(pkg_depth).size(), 4u);
+  EXPECT_EQ(t.at_depth(pkg_depth)[0]->name, "Socket 0");
+  EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::Group))[1]->name, "Blade 1");
+}
+
+// ------------------------------------------------------------ queries ----
+
+TEST(TopologyQueries, PuLogicalOrderAndOsIndex) {
+  const Topology t = make_numa(2, 2, 2);
+  ASSERT_EQ(t.num_pus(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.pu_at(i)->logical_index, i);
+    EXPECT_EQ(t.pu_at(i)->os_index, i);  // defaults to logical order
+    EXPECT_EQ(t.pu_by_os_index(i), t.pu_at(i));
+  }
+  EXPECT_EQ(t.pu_by_os_index(99), nullptr);
+}
+
+TEST(TopologyQueries, SharingDepthAndDistance) {
+  // numa(2,2,2): Machine(0) > NumaNode(1) > L3(2) > Core(3) > PU(4).
+  const Topology t = make_numa(2, 2, 2);
+  // Same core: PUs 0,1.
+  EXPECT_EQ(t.sharing_depth(0, 1), 3);
+  EXPECT_EQ(t.distance(0, 1), 2);
+  // Same L3 / NUMA, different core: PUs 0,2.
+  EXPECT_EQ(t.sharing_depth(0, 2), 2);
+  EXPECT_EQ(t.distance(0, 2), 4);
+  // Different NUMA: PUs 0,4.
+  EXPECT_EQ(t.sharing_depth(0, 4), 0);
+  EXPECT_EQ(t.distance(0, 4), 8);
+  // Same PU.
+  EXPECT_EQ(t.sharing_depth(3, 3), 4);
+  EXPECT_EQ(t.distance(3, 3), 0);
+}
+
+TEST(TopologyQueries, CommonAncestorTypes) {
+  const Topology t = make_numa(2, 2, 2);
+  const Object* a = t.pu_at(0);
+  const Object* b = t.pu_at(1);
+  EXPECT_EQ(t.common_ancestor(*a, *b)->type, ObjType::Core);
+  const Object* c = t.pu_at(4);
+  EXPECT_EQ(t.common_ancestor(*a, *c)->type, ObjType::Machine);
+}
+
+TEST(TopologyQueries, AncestorOfType) {
+  const Topology t = make_numa(2, 2, 2);
+  const Object* pu = t.pu_at(5);
+  const Object* numa = pu->ancestor_of_type(ObjType::NumaNode);
+  ASSERT_NE(numa, nullptr);
+  EXPECT_EQ(numa->logical_index, 1);
+  EXPECT_EQ(pu->ancestor_of_type(ObjType::Package), nullptr);
+}
+
+TEST(TopologyQueries, PuRangesCoverSubtrees) {
+  const Topology t = make_smp12e5();
+  const auto numa = t.at_depth(t.depth_of_type(ObjType::NumaNode));
+  ASSERT_EQ(numa.size(), 12u);
+  for (std::size_t i = 0; i < numa.size(); ++i) {
+    EXPECT_EQ(numa[i]->first_pu, static_cast<int>(i) * 16);
+    EXPECT_EQ(numa[i]->last_pu, static_cast<int>(i) * 16 + 15);
+    EXPECT_EQ(numa[i]->pu_count(), 16);
+  }
+}
+
+TEST(TopologyQueries, ArityAt) {
+  const Topology t = make_numa(2, 4, 2);
+  EXPECT_EQ(t.arity_at(0), 2);  // machine -> numa
+  EXPECT_EQ(t.arity_at(1), 1);  // numa -> l3
+  EXPECT_EQ(t.arity_at(2), 4);  // l3 -> cores
+  EXPECT_EQ(t.arity_at(3), 2);  // core -> pus
+}
+
+TEST(TopologyQueries, AtDepthBoundsChecked) {
+  const Topology t = make_flat(2);
+  EXPECT_THROW(t.at_depth(-1), std::out_of_range);
+  EXPECT_THROW(t.at_depth(t.depth()), std::out_of_range);
+  EXPECT_THROW(t.pu_at(2), std::out_of_range);
+}
+
+TEST(TopologyQueries, DepthOfMissingTypeIsMinusOne) {
+  const Topology t = make_flat(2);
+  EXPECT_EQ(t.depth_of_type(ObjType::NumaNode), -1);
+  EXPECT_EQ(t.cache_size(ObjType::L3), 0u);
+}
+
+// -------------------------------------------------------------- clone ----
+
+TEST(TopologyClone, DeepCopyIsIndependentAndEquivalent) {
+  const Topology t = make_smp20e7();
+  const Topology c = t.clone();
+  EXPECT_EQ(c.num_pus(), t.num_pus());
+  EXPECT_EQ(c.summary(), t.summary());
+  EXPECT_NE(&c.root(), &t.root());
+  EXPECT_EQ(c.sharing_depth(0, 9), t.sharing_depth(0, 9));
+}
+
+TEST(TopologyClone, EmptyCloneIsEmpty) {
+  const Topology t;
+  EXPECT_TRUE(t.clone().empty());
+}
+
+// ------------------------------------------------------------- render ----
+
+TEST(TopologyRender, SummaryMentionsCounts) {
+  const Topology t = make_smp12e5();
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("96 cores"), std::string::npos);
+  EXPECT_NE(s.find("192 PUs"), std::string::npos);
+  EXPECT_NE(s.find("SMP12E5"), std::string::npos);
+}
+
+TEST(TopologyRender, RenderCollapsesIdenticalSubtrees) {
+  const Topology t = make_smp20e7();
+  const std::string s = t.render();
+  EXPECT_NE(s.find("x20 identical"), std::string::npos);
+  // The full tree would print hundreds of lines; collapsed output is short.
+  EXPECT_LT(std::count(s.begin(), s.end(), '\n'), 60);
+}
+
+TEST(TopologyRender, RenderShowsCacheSizes) {
+  const Topology t = make_numa(1, 2, 1, 4 * 1024 * 1024);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("4096 KiB"), std::string::npos);
+}
+
+// ---------------------------------------------------- parameterized -----
+
+struct MachineCase {
+  const char* name;
+  Topology (*factory)();
+  std::size_t cores;
+  std::size_t pus;
+  bool ht;
+};
+
+class MachinePresetTest : public ::testing::TestWithParam<MachineCase> {};
+
+TEST_P(MachinePresetTest, StructureInvariants) {
+  const auto& param = GetParam();
+  const Topology t = param.factory();
+  EXPECT_EQ(t.num_cores(), param.cores);
+  EXPECT_EQ(t.num_pus(), param.pus);
+  EXPECT_EQ(t.has_hyperthreads(), param.ht);
+  EXPECT_TRUE(t.is_symmetric());
+  // PU ranges must tile [0, num_pus).
+  int next = 0;
+  for (const Object* pu : t.pus()) {
+    EXPECT_EQ(pu->logical_index, next++);
+    EXPECT_TRUE(pu->is_leaf());
+  }
+  // Every core's PUs are consecutive.
+  for (const Object* core : t.cores()) {
+    EXPECT_EQ(core->pu_count(),
+              static_cast<int>(t.num_pus() / t.num_cores()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, MachinePresetTest,
+    ::testing::Values(
+        MachineCase{"smp12e5", &make_smp12e5, 96, 192, true},
+        MachineCase{"smp20e7", &make_smp20e7, 160, 160, false},
+        MachineCase{"fig2", &make_fig2_machine, 32, 32, false}),
+    [](const ::testing::TestParamInfo<MachineCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "apps/video.hpp"
+
+namespace {
+
+using namespace orwl::apps;
+
+/// Small test configuration (fast on the CI host).
+VideoParams tiny_params() {
+  VideoParams p;
+  p.width = 96;
+  p.height = 64;
+  p.frames = 10;
+  p.gmm_splits = 4;
+  p.dilates = 2;
+  p.ccl_splits = 2;
+  p.objects = 2;
+  p.min_area = 20;
+  return p;
+}
+
+orwl::rt::ProgramOptions quiet() {
+  orwl::rt::ProgramOptions o;
+  o.affinity = orwl::rt::AffinityMode::Off;
+  o.acquire_timeout_ms = 60000;
+  return o;
+}
+
+TEST(VideoParams, TaskLayoutMatchesFig2) {
+  // Default parameters reproduce the paper's 30-task graph with the ids
+  // of Fig. 2.
+  const VideoParams p = video_hd();
+  EXPECT_EQ(p.num_tasks(), 30u);
+  EXPECT_EQ(p.producer_task(), 0u);
+  EXPECT_EQ(p.gmm_task(), 1u);
+  EXPECT_EQ(p.erode_task(), 2u);
+  EXPECT_EQ(p.dilate_task(0), 3u);
+  EXPECT_EQ(p.dilate_task(3), 6u);
+  EXPECT_EQ(p.ccl_task(), 7u);
+  EXPECT_EQ(p.tracking_task(), 8u);
+  EXPECT_EQ(p.consumer_task(), 9u);
+  EXPECT_EQ(p.gmm_split_task(0), 10u);
+  EXPECT_EQ(p.gmm_split_task(15), 25u);
+  EXPECT_EQ(p.ccl_split_task(0), 26u);
+  EXPECT_EQ(p.ccl_split_task(3), 29u);
+}
+
+TEST(VideoParams, ResolutionsMatchPaper) {
+  EXPECT_EQ(video_hd().width, 1280u);
+  EXPECT_EQ(video_hd().height, 720u);
+  EXPECT_EQ(video_full_hd().width, 1920u);
+  EXPECT_EQ(video_full_hd().height, 1080u);
+  EXPECT_EQ(video_4k().width, 3840u);
+  EXPECT_EQ(video_4k().height, 2160u);
+}
+
+TEST(Video, SequentialDetectsMovingObjects) {
+  const VideoParams p = tiny_params();
+  const VideoResult r = video_sequential(p);
+  EXPECT_EQ(r.frames, p.frames);
+  EXPECT_EQ(r.detections_per_frame.size(), p.frames);
+  // After the model settles, the moving squares must be detected.
+  EXPECT_GT(r.total_detections, 0u);
+  EXPECT_GE(r.final_track_count, 1u);
+}
+
+TEST(Video, OrwlMatchesSequential) {
+  const VideoParams p = tiny_params();
+  const VideoResult seq = video_sequential(p);
+  const VideoResult par = video_orwl(p, quiet());
+  EXPECT_EQ(par.frames, seq.frames);
+  EXPECT_EQ(par.detections_per_frame, seq.detections_per_frame)
+      << "ORWL pipeline must produce identical per-frame detections";
+  EXPECT_EQ(par.total_detections, seq.total_detections);
+  EXPECT_EQ(par.final_track_count, seq.final_track_count);
+  EXPECT_EQ(par.total_tracks_created, seq.total_tracks_created);
+  ASSERT_EQ(par.final_track_positions.size(),
+            seq.final_track_positions.size());
+  for (std::size_t i = 0; i < par.final_track_positions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par.final_track_positions[i][0],
+                     seq.final_track_positions[i][0]);
+    EXPECT_DOUBLE_EQ(par.final_track_positions[i][1],
+                     seq.final_track_positions[i][1]);
+  }
+}
+
+TEST(Video, ForkJoinMatchesSequential) {
+  const VideoParams p = tiny_params();
+  const VideoResult seq = video_sequential(p);
+  orwl::pool::ThreadPool pool(4);
+  const VideoResult par = video_forkjoin(p, pool);
+  EXPECT_EQ(par.detections_per_frame, seq.detections_per_frame);
+  EXPECT_EQ(par.final_track_count, seq.final_track_count);
+}
+
+TEST(Video, OrwlWithAffinityStillCorrect) {
+  VideoParams p = tiny_params();
+  p.frames = 6;
+  const VideoResult seq = video_sequential(p);
+  orwl::rt::ProgramOptions o = quiet();
+  o.affinity = orwl::rt::AffinityMode::On;
+  const VideoResult par = video_orwl(p, o);
+  EXPECT_EQ(par.detections_per_frame, seq.detections_per_frame);
+}
+
+TEST(Video, TracksFollowGroundTruthObjects) {
+  VideoParams p = tiny_params();
+  p.frames = 16;
+  p.objects = 2;
+  // Seed chosen so the two objects stay spatially separated for the whole
+  // clip (with other seeds their dilated blobs can merge into a single
+  // component, which is correct CCL behavior but not what this test
+  // checks).
+  p.seed = 8;
+  const VideoResult r = video_sequential(p);
+  EXPECT_EQ(r.final_track_count, 2u);
+  // Identity preserved: no spurious extra tracks were ever created.
+  EXPECT_EQ(r.total_tracks_created, 2u);
+  for (int d : r.detections_per_frame) EXPECT_EQ(d, 2);
+}
+
+TEST(Video, CommMatrixStructure) {
+  const VideoParams p = tiny_params();
+  const orwl::tm::CommMatrix m = video_comm_matrix(p);
+  ASSERT_EQ(m.order(), p.num_tasks());
+
+  const double frame_bytes = static_cast<double>(p.width * p.height);
+  // Producer feeds every gmm split through the 2-deep FIFO (both slots
+  // count: 2 x frame bytes of shared locations).
+  for (std::size_t g = 0; g < p.gmm_splits; ++g) {
+    EXPECT_DOUBLE_EQ(m.at(p.producer_task(), p.gmm_split_task(g)),
+                     2 * frame_bytes);
+  }
+  // Pipeline chain edges exist.
+  EXPECT_GT(m.at(p.gmm_task(), p.erode_task()), 0.0);
+  EXPECT_GT(m.at(p.erode_task(), p.dilate_task(0)), 0.0);
+  EXPECT_GT(m.at(p.dilate_task(0), p.dilate_task(1)), 0.0);
+  EXPECT_GT(m.at(p.ccl_task(), p.tracking_task()), 0.0);
+  EXPECT_GT(m.at(p.tracking_task(), p.consumer_task()), 0.0);
+  // CCL splits read the last dilate.
+  for (std::size_t c = 0; c < p.ccl_splits; ++c) {
+    EXPECT_DOUBLE_EQ(
+        m.at(p.dilate_task(p.dilates - 1), p.ccl_split_task(c)),
+        frame_bytes);
+  }
+  // No spurious edge between unrelated stages.
+  EXPECT_DOUBLE_EQ(m.at(p.producer_task(), p.tracking_task()), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(p.erode_task(), p.ccl_task()), 0.0);
+}
+
+TEST(Video, TaskNamesMatchFig2) {
+  const VideoParams p = video_hd();
+  const auto names = video_task_names(p);
+  ASSERT_EQ(names.size(), 30u);
+  EXPECT_EQ(names[0], "producer");
+  EXPECT_EQ(names[1], "gmm");
+  EXPECT_EQ(names[2], "erode");
+  EXPECT_EQ(names[3], "dilate");
+  EXPECT_EQ(names[7], "ccl");
+  EXPECT_EQ(names[8], "tracking");
+  EXPECT_EQ(names[9], "consumer");
+  EXPECT_EQ(names[10], "gmm split");
+  EXPECT_EQ(names[29], "ccl split");
+}
+
+}  // namespace
