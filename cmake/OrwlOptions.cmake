@@ -1,0 +1,27 @@
+# Defines the `orwl_options` interface target: the project-wide compile
+# contract (include root, language level add-ons, warning set, sanitizer
+# instrumentation) that every layer library inherits.
+#
+# Inputs (set by the top-level CMakeLists before inclusion):
+#   ORWL_WERROR    - bool, promote warnings to errors
+#   ORWL_SANITIZE  - comma-separated sanitizer list for -fsanitize=
+
+add_library(orwl_options INTERFACE)
+target_include_directories(orwl_options INTERFACE ${PROJECT_SOURCE_DIR}/src)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(orwl_options INTERFACE -Wall -Wextra)
+  if(ORWL_WERROR)
+    target_compile_options(orwl_options INTERFACE -Werror)
+  endif()
+  if(ORWL_SANITIZE)
+    target_compile_options(orwl_options INTERFACE
+      -fsanitize=${ORWL_SANITIZE} -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+    target_link_options(orwl_options INTERFACE -fsanitize=${ORWL_SANITIZE})
+  endif()
+elseif(ORWL_SANITIZE)
+  message(WARNING
+    "ORWL_SANITIZE is only wired up for GCC/Clang; ignoring for "
+    "${CMAKE_CXX_COMPILER_ID}")
+endif()

@@ -37,6 +37,27 @@ bool env_bool(const char* name, bool fallback) {
   return fallback;
 }
 
+ScopedEnv::ScopedEnv(const char* name, const char* value)
+    : name_(name), saved_(env_string(name)) {
+  set(value);
+}
+
+ScopedEnv::~ScopedEnv() {
+  if (saved_) {
+    ::setenv(name_.c_str(), saved_->c_str(), 1);
+  } else {
+    ::unsetenv(name_.c_str());
+  }
+}
+
+void ScopedEnv::set(const char* value) {
+  if (value != nullptr) {
+    ::setenv(name_.c_str(), value, 1);
+  } else {
+    ::unsetenv(name_.c_str());
+  }
+}
+
 long env_long(const char* name, long fallback) {
   const auto v = env_string(name);
   if (!v || v->empty()) return fallback;

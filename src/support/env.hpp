@@ -27,4 +27,26 @@ long env_long(const char* name, long fallback);
 /// Case-insensitive ASCII string comparison (helper, exposed for tests).
 bool iequals(std::string_view a, std::string_view b) noexcept;
 
+/// RAII guard that sets (or, with nullptr, unsets) an environment variable
+/// and restores the previous state on destruction. Tests that probe
+/// env-driven behavior must use this instead of bare setenv/unsetenv so a
+/// caller-provided value survives the test. Not thread-safe: the process
+/// environment itself is not, so scope guards to single-threaded sections.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value);
+  ~ScopedEnv();
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+  /// Re-point the variable at a new value (nullptr unsets) while keeping
+  /// the originally saved state for restoration.
+  void set(const char* value);
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
 }  // namespace orwl::support

@@ -1,10 +1,16 @@
 #include "topo/binding.hpp"
 
+#if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
+#endif
 #include <unistd.h>
 
+#include <thread>
+
 namespace orwl::topo {
+
+#if defined(__linux__)
 
 namespace {
 
@@ -47,9 +53,31 @@ CpuSet current_thread_binding() {
 
 int current_cpu() noexcept { return sched_getcpu(); }
 
+#else  // !__linux__
+
+// Portable fallback: binding is advisory everywhere in this codebase
+// (callers must tolerate `false`), so platforms without the Linux affinity
+// API simply report that binding is unavailable.
+
+bool bind_current_thread(const CpuSet&) noexcept { return false; }
+
+bool bind_thread(std::thread::native_handle_type, const CpuSet&) noexcept {
+  return false;
+}
+
+CpuSet current_thread_binding() { return CpuSet{}; }
+
+int current_cpu() noexcept { return -1; }
+
+#endif  // __linux__
+
 int host_cpu_count() noexcept {
+#if defined(_SC_NPROCESSORS_ONLN)
   const long n = sysconf(_SC_NPROCESSORS_ONLN);
-  return n > 0 ? static_cast<int>(n) : 1;
+  if (n > 0) return static_cast<int>(n);
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
 }
 
 }  // namespace orwl::topo

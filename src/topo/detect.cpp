@@ -7,6 +7,7 @@
 #include <optional>
 #include <tuple>
 
+#include "support/env.hpp"
 #include "topo/binding.hpp"
 #include "topo/cpuset.hpp"
 #include "topo/machines.hpp"
@@ -140,7 +141,19 @@ Topology detect_from_sysfs(const std::string& sysfs_root, int fallback_cpus) {
 }
 
 Topology detect_host() {
+  // Explicit override first: lets users and CI pin a fixture topology
+  // (e.g. ORWL_TOPOLOGY=smp12e5 or ORWL_TOPOLOGY=numa:2:4:1) on hosts
+  // where sysfs probing is unavailable or misleading.
+  if (const auto spec = support::env_string(kTopologyEnvVar)) {
+    if (auto t = make_named(*spec)) return std::move(*t);
+  }
+#if defined(__linux__)
   return detect_from_sysfs("/sys", host_cpu_count());
+#else
+  // No sysfs to probe outside Linux: fall back to the flat fixture over
+  // the online CPUs (same shape detect_from_sysfs degrades to).
+  return make_flat(host_cpu_count());
+#endif
 }
 
 }  // namespace orwl::topo

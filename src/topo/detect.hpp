@@ -13,8 +13,13 @@
 
 namespace orwl::topo {
 
-/// Detect the host machine. Never throws: on any inconsistency it falls
-/// back to a flat topology over the online CPUs.
+/// Environment variable that overrides detection with a fixture spec
+/// understood by make_named() ("smp12e5", "flat:8", "numa:2:4:1", ...).
+inline constexpr const char* kTopologyEnvVar = "ORWL_TOPOLOGY";
+
+/// Detect the host machine. Honors ORWL_TOPOLOGY as a fixture override;
+/// never throws: on any inconsistency (including non-Linux hosts with no
+/// sysfs) it falls back to a flat fixture over the online CPUs.
 Topology detect_host();
 
 /// Detection with an explicit sysfs root (for tests against a fake tree).

@@ -1,9 +1,38 @@
 #include "topo/machines.hpp"
 
+#include <charconv>
+#include <vector>
+
+#include "support/env.hpp"
+
 namespace orwl::topo {
 
 namespace {
+
 constexpr std::size_t kKiB = 1024;
+
+// Split "flat:8" / "numa:2:4:1" into its ':'-separated fields.
+std::vector<std::string> split_fields(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    out.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return out;
+}
+
+std::optional<int> parse_positive(const std::string& s) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value <= 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
 }  // namespace
 
 Topology make_smp12e5() {
@@ -82,6 +111,31 @@ Topology make_numa(int numa_nodes, int cores_per_node, int pus_per_core,
       },
       "numa-" + std::to_string(numa_nodes) + "x" +
           std::to_string(cores_per_node) + "x" + std::to_string(pus_per_core));
+}
+
+std::optional<Topology> make_named(const std::string& spec) {
+  using support::iequals;
+  const std::vector<std::string> fields = split_fields(spec);
+  if (fields.empty() || fields[0].empty()) return std::nullopt;
+  const std::string& kind = fields[0];
+  if (fields.size() == 1) {
+    if (iequals(kind, "smp12e5")) return make_smp12e5();
+    if (iequals(kind, "smp20e7")) return make_smp20e7();
+    if (iequals(kind, "fig2")) return make_fig2_machine();
+    return std::nullopt;
+  }
+  if (iequals(kind, "flat") && fields.size() == 2) {
+    if (const auto n = parse_positive(fields[1])) return make_flat(*n);
+    return std::nullopt;
+  }
+  if (iequals(kind, "numa") && fields.size() == 4) {
+    const auto nodes = parse_positive(fields[1]);
+    const auto cores = parse_positive(fields[2]);
+    const auto pus = parse_positive(fields[3]);
+    if (nodes && cores && pus) return make_numa(*nodes, *cores, *pus);
+    return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 }  // namespace orwl::topo

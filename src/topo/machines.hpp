@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string>
 
 #include "topo/topology.hpp"
 
@@ -45,5 +47,12 @@ Topology make_flat(int n);
 /// Generic symmetric NUMA machine for tests and sweeps.
 Topology make_numa(int numa_nodes, int cores_per_node, int pus_per_core,
                    std::size_t l3_bytes = 20u * 1024 * 1024);
+
+/// Build a fixture from a textual spec, used by detection when the host
+/// cannot be probed (ORWL_TOPOLOGY env var, CI runners without /sys).
+/// Accepted specs: "smp12e5", "smp20e7", "fig2", "flat:<pus>",
+/// "numa:<nodes>:<cores>:<pus-per-core>". Case-insensitive; returns
+/// std::nullopt for anything else.
+std::optional<Topology> make_named(const std::string& spec);
 
 }  // namespace orwl::topo

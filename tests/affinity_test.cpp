@@ -1,9 +1,8 @@
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-
 #include "affinity/affinity.hpp"
 #include "affinity/report.hpp"
+#include "support/env.hpp"
 #include "topo/machines.hpp"
 
 namespace {
@@ -33,13 +32,13 @@ TaskGraph chain_graph(std::size_t n, std::size_t bytes) {
 // ----------------------------------------------------------- env var ----
 
 TEST(AffinityEnv, FollowsOrwlAffinityVariable) {
-  unsetenv(aff::kAffinityEnvVar);
+  // Guard restores whatever value the caller had on scope exit.
+  support::ScopedEnv guard(aff::kAffinityEnvVar, nullptr);
   EXPECT_FALSE(aff::enabled_from_env());
-  setenv(aff::kAffinityEnvVar, "1", 1);
+  guard.set("1");
   EXPECT_TRUE(aff::enabled_from_env());
-  setenv(aff::kAffinityEnvVar, "0", 1);
+  guard.set("0");
   EXPECT_FALSE(aff::enabled_from_env());
-  unsetenv(aff::kAffinityEnvVar);
 }
 
 // ------------------------------------------------- matrix extraction ----

@@ -4,8 +4,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/env.hpp"
 #include "topo/binding.hpp"
 #include "topo/detect.hpp"
+#include "topo/machines.hpp"
 
 namespace {
 
@@ -108,7 +110,44 @@ TEST(Detect, NoNumaInfoYieldsSingleNode) {
   EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::NumaNode)).size(), 1u);
 }
 
+TEST(Detect, NamedFixturesParse) {
+  const auto smp12 = make_named("smp12e5");
+  ASSERT_TRUE(smp12.has_value());
+  EXPECT_EQ(smp12->num_pus(), 192u);
+  const auto smp20 = make_named("SMP20E7");
+  ASSERT_TRUE(smp20.has_value());
+  EXPECT_EQ(smp20->num_pus(), 160u);
+  const auto fig2 = make_named("fig2");
+  ASSERT_TRUE(fig2.has_value());
+  EXPECT_EQ(fig2->num_cores(), 32u);
+  const auto flat = make_named("flat:6");
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_EQ(flat->num_pus(), 6u);
+  const auto numa = make_named("numa:2:4:2");
+  ASSERT_TRUE(numa.has_value());
+  EXPECT_EQ(numa->num_pus(), 16u);
+  EXPECT_FALSE(make_named("").has_value());
+  EXPECT_FALSE(make_named("bogus").has_value());
+  EXPECT_FALSE(make_named("flat:0").has_value());
+  EXPECT_FALSE(make_named("flat:x").has_value());
+  EXPECT_FALSE(make_named("numa:2:4").has_value());
+}
+
+TEST(Detect, EnvOverrideSelectsFixture) {
+  orwl::support::ScopedEnv guard(kTopologyEnvVar, "numa:2:4:1");
+  const Topology t = detect_host();
+  EXPECT_EQ(t.num_pus(), 8u);
+  EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::NumaNode)).size(), 2u);
+}
+
+TEST(Detect, BadEnvOverrideFallsBackToProbing) {
+  orwl::support::ScopedEnv guard(kTopologyEnvVar, "not-a-machine");
+  const Topology t = detect_host();
+  EXPECT_GE(t.num_pus(), 1u);
+}
+
 TEST(Detect, HostDetectionProducesUsableTopology) {
+  orwl::support::ScopedEnv guard(kTopologyEnvVar, nullptr);
   const Topology t = detect_host();
   EXPECT_GE(t.num_pus(), 1u);
   EXPECT_EQ(static_cast<int>(t.num_pus()) >= host_cpu_count() ? 1 : 0, 1)

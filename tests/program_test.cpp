@@ -9,6 +9,7 @@
 #include "runtime/handle.hpp"
 #include "runtime/program.hpp"
 #include "runtime/split.hpp"
+#include "support/env.hpp"
 #include "topo/binding.hpp"
 #include "topo/machines.hpp"
 
@@ -367,13 +368,13 @@ TEST(ProgramAffinity, OffModeComputesNothing) {
 }
 
 TEST(ProgramAffinity, EnvVarSwitchesAutomaticMode) {
-  setenv("ORWL_AFFINITY", "1", 1);
+  orwl::support::ScopedEnv guard("ORWL_AFFINITY", "1");
   ProgramOptions o;
   o.affinity = AffinityMode::FromEnv;
   o.acquire_timeout_ms = 20000;
   Program prog(2, o);
   EXPECT_TRUE(prog.affinity_enabled());
-  unsetenv("ORWL_AFFINITY");
+  guard.set(nullptr);
   Program prog2(2, o);
   EXPECT_FALSE(prog2.affinity_enabled());
 }

@@ -65,6 +65,26 @@ TEST_F(EnvTest, LongParsesAndFallsBack) {
   EXPECT_EQ(env_long("ORWL_TEST_VAR", 99), 99);
 }
 
+TEST_F(EnvTest, ScopedEnvRestoresPreviousValue) {
+  setenv("ORWL_TEST_VAR", "original", 1);
+  {
+    ScopedEnv guard("ORWL_TEST_VAR", "shadow");
+    EXPECT_EQ(env_string("ORWL_TEST_VAR").value(), "shadow");
+    guard.set(nullptr);
+    EXPECT_FALSE(env_string("ORWL_TEST_VAR").has_value());
+  }
+  EXPECT_EQ(env_string("ORWL_TEST_VAR").value(), "original");
+}
+
+TEST_F(EnvTest, ScopedEnvRestoresUnsetState) {
+  unsetenv("ORWL_TEST_VAR");
+  {
+    ScopedEnv guard("ORWL_TEST_VAR", "transient");
+    EXPECT_EQ(env_string("ORWL_TEST_VAR").value(), "transient");
+  }
+  EXPECT_FALSE(env_string("ORWL_TEST_VAR").has_value());
+}
+
 TEST(IEquals, Basics) {
   EXPECT_TRUE(iequals("TreeMatch", "treematch"));
   EXPECT_FALSE(iequals("abc", "abcd"));
