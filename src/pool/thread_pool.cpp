@@ -31,16 +31,28 @@ ThreadPool::ThreadPool(std::size_t num_threads, PoolOptions opts)
     }
   }
 
+  // Startup handshake: each worker binds *itself* before its first wait,
+  // so its first instructions and stack/TLS faults already land on the
+  // target PU; the constructor then waits for every worker to check in,
+  // after which bindings_ is stable and safe to read through bindings().
+  unstarted_ = num_threads - 1;
   workers_.reserve(num_threads - 1);
   for (std::size_t w = 1; w < num_threads; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
-    if (opts.bind_threads && bindings_[w] >= 0) {
-      if (!topo::bind_thread(workers_.back().native_handle(),
-                             topo::CpuSet::single(bindings_[w]))) {
-        bindings_[w] = -1;
+    const int pu = bindings_[w];
+    const bool bind = opts.bind_threads && pu >= 0;
+    workers_.emplace_back([this, w, pu, bind] {
+      const bool bound =
+          !bind || topo::bind_current_thread(topo::CpuSet::single(pu));
+      {
+        std::unique_lock lock(mu_);
+        if (!bound) bindings_[w] = -1;
+        if (--unstarted_ == 0) done_cv_.notify_all();
       }
-    }
+      worker_loop(w);
+    });
   }
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return unstarted_ == 0; });
 }
 
 ThreadPool::~ThreadPool() {
@@ -67,7 +79,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       seen_generation = generation_;
       job = job_;
     }
-    job(worker_index);
+    try {
+      job(worker_index);
+    } catch (...) {
+      std::unique_lock lock(mu_);
+      if (!region_error_) region_error_ = std::current_exception();
+    }
     {
       std::unique_lock lock(mu_);
       if (--working_ == 0) done_cv_.notify_all();
@@ -80,13 +97,28 @@ void ThreadPool::run_region(const std::function<void(std::size_t)>& fn) {
     std::unique_lock lock(mu_);
     job_ = fn;
     working_ = workers_.size();
+    region_error_ = nullptr;
     ++generation_;
     ++regions_;
   }
   start_cv_.notify_all();
-  fn(0);  // master participates
+  // The master participates as thread 0. If its chunk throws, the region
+  // must still drain — rethrowing before done_cv_ is waited on would leave
+  // working_ > 0 and corrupt the pool for the next region.
+  std::exception_ptr master_error;
+  try {
+    fn(0);
+  } catch (...) {
+    master_error = std::current_exception();
+  }
   std::unique_lock lock(mu_);
   done_cv_.wait(lock, [&] { return working_ == 0; });
+  // The master's exception wins; otherwise surface the first worker's.
+  std::exception_ptr error = master_error ? master_error : region_error_;
+  region_error_ = nullptr;
+  job_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel(const std::function<void(std::size_t)>& fn) {

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -44,6 +45,8 @@ class ThreadPool {
   /// OpenMP "parallel for schedule(static)": iterate fn over [begin, end)
   /// with each thread working one contiguous chunk. Blocks until done.
   /// The calling thread participates as thread 0 (like an OpenMP master).
+  /// Exceptions thrown by fn (on any thread) propagate to the caller
+  /// after the whole region has drained; the pool stays usable.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -77,8 +80,10 @@ class ThreadPool {
   std::function<void(std::size_t)> job_;
   std::size_t generation_ = 0;
   std::size_t working_ = 0;
+  std::size_t unstarted_ = 0;  ///< workers still in the startup handshake
   bool stopping_ = false;
   std::uint64_t regions_ = 0;
+  std::exception_ptr region_error_;  ///< first worker exception of a region
 };
 
 }  // namespace orwl::pool

@@ -1,80 +1,116 @@
 #include "runtime/control_plane.hpp"
 
+#include <algorithm>
+
 #include "runtime/request_queue.hpp"
 #include "topo/binding.hpp"
 #include "topo/cpuset.hpp"
 
 namespace orwl::rt {
 
-ControlPlane::ControlPlane(std::size_t nthreads) : num_threads_(nthreads) {}
+namespace {
+
+std::size_t clamp_shards(const ControlPlaneOptions& opts) {
+  if (opts.num_threads == 0) return 1;
+  return std::clamp<std::size_t>(opts.num_shards, 1, opts.num_threads);
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(std::size_t nthreads)
+    : ControlPlane(ControlPlaneOptions{nthreads, 1,
+                                       ControlPlaneOptions{}.shard_capacity}) {}
+
+ControlPlane::ControlPlane(const ControlPlaneOptions& opts)
+    : num_threads_(opts.num_threads),
+      num_shards_(clamp_shards(opts)),
+      shard_capacity_(opts.shard_capacity) {
+  shards_.reserve(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 ControlPlane::~ControlPlane() { stop(); }
 
 void ControlPlane::start() {
-  if (num_threads_ == 0 || running_) return;
-  {
-    std::unique_lock lock(mu_);
-    stopping_ = false;
+  if (num_threads_ == 0 || running()) return;
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mu);
+    shard->stopping = false;
   }
   threads_.reserve(num_threads_);
-  for (std::size_t i = 0; i < num_threads_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+  for (std::size_t j = 0; j < num_threads_; ++j) {
+    threads_.emplace_back([this, j] { worker_loop(shard_of_thread(j)); });
   }
-  running_ = true;
+  running_.store(true, std::memory_order_release);
 }
 
 void ControlPlane::stop() {
-  if (!running_) return;
   // Flip running_ first: new releases fall back to inline grants, so no
   // event posted after this point is lost.
-  running_ = false;
-  {
-    std::unique_lock lock(mu_);
-    stopping_ = true;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) {
+    {
+      std::unique_lock lock(shard->mu);
+      shard->stopping = true;
+    }
+    shard->cv.notify_all();
   }
-  cv_.notify_all();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
-  // Drain any leftover events inline so no waiter stays ungranted.
-  std::deque<RequestQueue*> leftovers;
-  {
-    std::unique_lock lock(mu_);
-    leftovers.swap(events_);
+  // Workers drain their shard before exiting and posts observe `stopping`
+  // under the shard mutex, so leftovers here mean a worker died early;
+  // grant them inline regardless so no waiter stays ungranted.
+  for (auto& shard : shards_) {
+    std::deque<RequestQueue*> leftovers;
+    {
+      std::unique_lock lock(shard->mu);
+      leftovers.swap(shard->events);
+    }
+    for (RequestQueue* q : leftovers) {
+      q->grant_from_control();
+      inline_grants_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  for (RequestQueue* q : leftovers) q->grant_from_control();
 }
 
-void ControlPlane::post(RequestQueue* q) {
-  {
-    std::unique_lock lock(mu_);
-    if (stopping_) {
-      // Late event during shutdown: grant inline.
+void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
+  if (running()) {
+    Shard& shard = *shards_[shard_index % num_shards_];
+    std::unique_lock lock(shard.mu);
+    if (!shard.stopping &&
+        (shard_capacity_ == 0 || shard.events.size() < shard_capacity_)) {
+      shard.events.push_back(q);
       lock.unlock();
-      q->grant_from_control();
+      shard.cv.notify_one();
       return;
     }
-    events_.push_back(q);
   }
-  cv_.notify_one();
+  // Not running, stopping, or the shard is saturated: grant inline.
+  q->grant_from_control();
+  inline_grants_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ControlPlane::worker_loop() {
+void ControlPlane::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::deque<RequestQueue*> batch;
   for (;;) {
-    RequestQueue* q = nullptr;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !events_.empty(); });
-      if (events_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      q = events_.front();
-      events_.pop_front();
+      std::unique_lock lock(shard.mu);
+      shard.cv.wait(lock,
+                    [&] { return shard.stopping || !shard.events.empty(); });
+      if (shard.events.empty()) return;  // stopping and fully drained
+      batch.swap(shard.events);
     }
-    q->grant_from_control();
-    events_processed_.fetch_add(1, std::memory_order_relaxed);
+    // Batched draining: grant every event of the wakeup outside the shard
+    // mutex, so posters never wait behind grant work.
+    for (RequestQueue* q : batch) q->grant_from_control();
+    shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    batch.clear();
   }
 }
 
@@ -90,6 +126,22 @@ std::size_t ControlPlane::bind_threads(const std::vector<int>& pus) {
     }
   }
   return bound;
+}
+
+std::uint64_t ControlPlane::events_processed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->processed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ControlPlane::drain_batches() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->batches.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace orwl::rt

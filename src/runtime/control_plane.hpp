@@ -5,16 +5,27 @@
 // control threads freeze and thaw processing threads of concurrent tasks
 // according to the availability of resources." (Sec. IV-A)
 //
-// The control plane is an event queue served by dedicated OS threads:
-// every lock release posts a hand-off event; a control thread pops it and
-// performs the grant + wake-up of the next requester. These are the
-// threads Algorithm 1 places on hyperthread siblings or spare cores.
+// The control plane is a *sharded* event queue served by dedicated OS
+// threads: every lock release posts a hand-off event to the shard nearest
+// the waiters of its queue; a control thread of that shard drains all
+// pending events of the shard in one wakeup (batched draining) and
+// performs the grant + wake-up of the next requesters. One shard is kept
+// per NUMA node (or per top-level topology subtree), so hand-offs of
+// unrelated locality domains never contend on a common mutex. These are
+// the threads Algorithm 1 places on hyperthread siblings or spare cores;
+// control thread j serves shard j % num_shards, and the Program aligns
+// the tree_match control placement with that fixed assignment.
+//
+// post() never loses an event: when the plane is stopped, stopping, or
+// the target shard is saturated, the grant is performed inline by the
+// posting thread instead of being queued.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,11 +34,30 @@ namespace orwl::rt {
 
 class RequestQueue;
 
+/// Environment override for the number of control-plane shards the
+/// Program creates (default: one per NUMA node, clamped to the number of
+/// control threads).
+inline constexpr const char* kControlShardsEnvVar = "ORWL_CONTROL_SHARDS";
+
+struct ControlPlaneOptions {
+  /// Dedicated control threads (0 => no threads, every post grants
+  /// inline).
+  std::size_t num_threads = 0;
+
+  /// Event shards; clamped to [1, num_threads] so every shard is served.
+  std::size_t num_shards = 1;
+
+  /// Events a shard may hold before post() falls back to an inline grant
+  /// (back-pressure instead of unbounded queue growth); 0 = unbounded.
+  std::size_t shard_capacity = 4096;
+};
+
 class ControlPlane {
  public:
-  /// Create with `nthreads` control threads (0 => inline grants, no
-  /// threads). Threads are started by start().
+  /// Single-shard plane with `nthreads` control threads (the pre-sharding
+  /// interface, kept for tests and benches).
   explicit ControlPlane(std::size_t nthreads);
+  explicit ControlPlane(const ControlPlaneOptions& opts);
   ~ControlPlane();
   ControlPlane(const ControlPlane&) = delete;
   ControlPlane& operator=(const ControlPlane&) = delete;
@@ -36,32 +66,59 @@ class ControlPlane {
   void stop();
 
   std::size_t num_threads() const noexcept { return num_threads_; }
-  bool running() const noexcept { return running_; }
+  std::size_t num_shards() const noexcept { return num_shards_; }
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
-  /// Post a grant hand-off event for the given queue.
-  /// Must only be called while running (RequestQueue guards this).
-  void post(RequestQueue* q);
+  /// Shard served by control thread j (fixed round-robin assignment).
+  std::size_t shard_of_thread(std::size_t j) const noexcept {
+    return j % num_shards_;
+  }
+
+  /// Post a grant hand-off event for the given queue to `shard`
+  /// (mod num_shards). Safe in every plane state: when the plane is not
+  /// running, is stopping, or the shard is saturated, the grant happens
+  /// inline on the calling thread — an event is never silently dropped.
+  void post(RequestQueue* q, std::size_t shard = 0);
 
   /// Bind control thread j to pus[j % pus.size()] (entries of -1 skip).
-  /// Returns the number of threads successfully bound.
+  /// With shard-aligned placements pus[j] is a PU inside shard
+  /// shard_of_thread(j)'s locality domain. Returns the number of threads
+  /// successfully bound.
   std::size_t bind_threads(const std::vector<int>& pus);
 
-  /// Total events processed (for tests and counter reporting).
-  std::uint64_t events_processed() const noexcept {
-    return events_processed_.load(std::memory_order_relaxed);
+  /// Total events processed by control threads (tests, counter reports).
+  std::uint64_t events_processed() const noexcept;
+
+  /// Control-thread wakeups that drained at least one event; with batched
+  /// draining this is <= events_processed().
+  std::uint64_t drain_batches() const noexcept;
+
+  /// Grants performed inline by post() (plane stopped/stopping/saturated).
+  std::uint64_t inline_grants() const noexcept {
+    return inline_grants_.load(std::memory_order_relaxed);
   }
 
  private:
-  void worker_loop();
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<RequestQueue*> events;
+    bool stopping = false;
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> batches{0};
+  };
+
+  void worker_loop(std::size_t shard_index);
 
   const std::size_t num_threads_;
+  const std::size_t num_shards_;
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<RequestQueue*> events_;
-  bool running_ = false;
-  bool stopping_ = false;
-  std::atomic<std::uint64_t> events_processed_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> inline_grants_{0};
 };
 
 }  // namespace orwl::rt

@@ -4,10 +4,12 @@
 #include <stdexcept>
 
 #include "runtime/handle.hpp"
+#include "support/env.hpp"
 #include "treematch/strategies.hpp"
 #include "topo/binding.hpp"
 #include "topo/cpuset.hpp"
 #include "topo/detect.hpp"
+#include "topo/shard.hpp"
 
 namespace orwl::rt {
 
@@ -37,7 +39,21 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   if (nc == ProgramOptions::kAutoControlThreads) {
     nc = std::max<std::size_t>(1, num_tasks_ / 4);
   }
-  control_ = std::make_unique<ControlPlane>(nc);
+  // One event shard per NUMA node (topology subtree on NUMA-less
+  // machines), overridable via ORWL_CONTROL_SHARDS, never more shards
+  // than control threads to serve them.
+  std::size_t nshards = opts_.control_shards;
+  if (nshards == ProgramOptions::kAutoControlShards) {
+    nshards = topo::recommended_shard_count(*topology_);
+    const long env_shards = support::env_long(kControlShardsEnvVar, -1);
+    if (env_shards > 0) nshards = static_cast<std::size_t>(env_shards);
+  }
+  ControlPlaneOptions cp_opts;
+  cp_opts.num_threads = nc;
+  cp_opts.num_shards = std::max<std::size_t>(1, nshards);
+  control_ = std::make_unique<ControlPlane>(cp_opts);
+  shard_map_ = topo::make_shard_map(*topology_, control_->num_shards());
+  stats_.control_shards = control_->num_shards();
 
   locations_.reserve(num_tasks_ * opts_.locations_per_task);
   for (TaskId t = 0; t < num_tasks_; ++t) {
@@ -47,6 +63,10 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
       locations_.back()->queue().set_control_plane(control_.get());
       locations_.back()->queue().set_acquire_timeout(
           opts_.acquire_timeout_ms);
+      // Placement-free default routing: owner round-robin. Replaced by
+      // the topology-aware routing once a placement exists.
+      locations_.back()->queue().set_control_shard(
+          t % control_->num_shards());
     }
   }
 
@@ -194,6 +214,41 @@ std::vector<int> Program::control_associates() const {
   return assoc;
 }
 
+std::vector<int> Program::shard_aligned_associates(
+    const tm::Placement& p) const {
+  const std::size_t nshards = control_->num_shards();
+  std::vector<std::vector<int>> tasks_of_shard(nshards);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    int shard = t < p.compute_pu.size()
+                    ? shard_map_.shard_of(p.compute_pu[t])
+                    : -1;
+    if (shard < 0) shard = static_cast<int>(t % nshards);
+    tasks_of_shard[static_cast<std::size_t>(shard)].push_back(
+        static_cast<int>(t));
+  }
+  std::vector<int> assoc(control_->num_threads());
+  for (std::size_t j = 0; j < assoc.size(); ++j) {
+    const auto& tasks = tasks_of_shard[control_->shard_of_thread(j)];
+    assoc[j] = tasks.empty()
+                   ? static_cast<int>(j % num_tasks_)
+                   : tasks[(j / nshards) % tasks.size()];
+  }
+  return assoc;
+}
+
+void Program::route_queues_locked() {
+  const std::size_t nshards = control_->num_shards();
+  if (nshards <= 1) return;
+  for (auto& loc : locations_) {
+    const TaskId owner = loc->owner();
+    int shard = have_placement_ && owner < placement_.compute_pu.size()
+                    ? shard_map_.shard_of(placement_.compute_pu[owner])
+                    : -1;
+    if (shard < 0) shard = static_cast<int>(owner % nshards);
+    loc->queue().set_control_shard(static_cast<std::size_t>(shard));
+  }
+}
+
 void Program::affinity_compute() {
   std::unique_lock lock(place_mu_);
   if (!have_matrix_) {
@@ -207,6 +262,16 @@ void Program::affinity_compute() {
   copts.engine = opts_.engine;
   try {
     placement_ = aff::compute_placement(matrix_, *topology_, copts);
+    // Shard alignment: control thread j serves shard j % num_shards. Once
+    // the first pass tells us which shard each task's PU belongs to,
+    // re-associate every control thread with a task of its own shard and
+    // recompute, so shard k's threads end up on the hyperthread siblings
+    // / spare cores of the compute threads whose queues shard k serves.
+    const std::vector<int> aligned = shard_aligned_associates(placement_);
+    if (aligned != copts.control_associate) {
+      copts.control_associate = aligned;
+      placement_ = aff::compute_placement(matrix_, *topology_, copts);
+    }
   } catch (const std::invalid_argument&) {
     // Algorithm 1 requires a symmetric tree; real hosts occasionally are
     // not (disabled cores, heterogeneous packages). Degrade gracefully to
@@ -217,6 +282,7 @@ void Program::affinity_compute() {
     stats_.affinity_fallback = true;
   }
   have_placement_ = true;
+  route_queues_locked();
 }
 
 void Program::affinity_set() {
@@ -303,8 +369,11 @@ void Program::run() {
   for (auto& th : threads_) th.join();
   threads_.clear();
 
-  stats_.control_events = control_->events_processed();
+  // Snapshot counters after stop(): trailing hand-offs drained during
+  // shutdown must land in exactly one of the two counts.
   control_->stop();
+  stats_.control_events = control_->events_processed();
+  stats_.control_inline_grants = control_->inline_grants();
 
   if (first_error) std::rethrow_exception(first_error);
 }

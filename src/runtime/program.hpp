@@ -27,6 +27,7 @@
 #include "runtime/control_plane.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/location.hpp"
+#include "topo/shard.hpp"
 #include "topo/topology.hpp"
 #include "treematch/treematch.hpp"
 
@@ -51,6 +52,13 @@ struct ProgramOptions {
   static constexpr std::size_t kAutoControlThreads = ~std::size_t{0};
   std::size_t control_threads = kAutoControlThreads;
 
+  /// Control-plane event shards; kAutoControlShards picks one shard per
+  /// NUMA node of the topology (see topo::recommended_shard_count),
+  /// overridable with ORWL_CONTROL_SHARDS. Always clamped to
+  /// [1, control_threads].
+  static constexpr std::size_t kAutoControlShards = ~std::size_t{0};
+  std::size_t control_shards = kAutoControlShards;
+
   AffinityMode affinity = AffinityMode::FromEnv;
 
   /// Topology to place on. Null => detect the host machine. The pointed-to
@@ -73,6 +81,8 @@ struct ProgramOptions {
 
 struct ProgramStats {
   std::uint64_t control_events = 0;   ///< lock hand-offs done by controls
+  std::uint64_t control_inline_grants = 0;  ///< hand-offs granted inline
+  std::size_t control_shards = 0;     ///< event shards of the control plane
   std::size_t compute_threads_bound = 0;
   std::size_t control_threads_bound = 0;
   std::size_t bind_failures = 0;
@@ -106,6 +116,11 @@ class Program {
   std::size_t num_control_threads() const noexcept {
     return control_->num_threads();
   }
+  std::size_t num_control_shards() const noexcept {
+    return control_->num_shards();
+  }
+  /// The PU -> shard partition the control plane routes by.
+  const topo::ShardMap& shard_map() const noexcept { return shard_map_; }
   Location& location(TaskId task, std::size_t slot = 0);
   const topo::Topology& topology() const noexcept { return *topology_; }
   bool affinity_enabled() const noexcept { return affinity_enabled_; }
@@ -163,6 +178,15 @@ class Program {
 
   std::vector<int> control_associates() const;
 
+  /// Associates realigned so that control thread j (serving shard
+  /// j % num_shards) manages a task whose queues route to that shard.
+  std::vector<int> shard_aligned_associates(const tm::Placement& p) const;
+
+  /// Route every location's hand-off events to the shard of its owner's
+  /// compute PU (falling back to owner round-robin when unplaced).
+  /// Caller holds place_mu_.
+  void route_queues_locked();
+
   const std::size_t num_tasks_;
   ProgramOptions opts_;
   topo::Topology owned_topology_;        // when detected
@@ -171,6 +195,7 @@ class Program {
 
   std::vector<std::unique_ptr<Location>> locations_;
   std::unique_ptr<ControlPlane> control_;
+  topo::ShardMap shard_map_;
   std::vector<TaskFn> bodies_;
 
   // Insert registration (guarded by graph_mu_).

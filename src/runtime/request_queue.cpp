@@ -76,10 +76,13 @@ bool RequestQueue::granted(Ticket t) const {
 }
 
 void RequestQueue::hand_off_locked(std::unique_lock<std::mutex>& lock) {
-  if (control_ != nullptr && control_->running()) {
-    // Decentralized hand-off: a control thread performs the grant.
+  if (control_ != nullptr) {
+    // Decentralized hand-off: a control thread of our shard performs the
+    // grant. post() is safe in every plane state — it grants inline when
+    // the plane is stopped, stopping, or the shard is saturated — so a
+    // release racing ControlPlane::stop() can never strand a waiter.
     lock.unlock();
-    control_->post(this);
+    control_->post(this, control_shard_.load(std::memory_order_relaxed));
   } else {
     if (grant_head_locked()) cv_.notify_all();
     lock.unlock();

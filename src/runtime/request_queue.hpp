@@ -15,6 +15,7 @@
 // (reproducing ORWL's decentralized event-based hand-off).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +36,18 @@ class RequestQueue {
   /// Attach the control plane that performs grant hand-off. May be null
   /// (inline grants). Not thread-safe; call before concurrent use.
   void set_control_plane(ControlPlane* cp) noexcept { control_ = cp; }
+
+  /// Route this queue's hand-off events to the given control-plane shard
+  /// (the shard nearest the PUs of the queue's waiters). Thread-safe: the
+  /// Program re-routes queues when a placement is computed, possibly while
+  /// releases are in flight.
+  void set_control_shard(std::size_t shard) noexcept {
+    control_shard_.store(static_cast<std::uint32_t>(shard),
+                         std::memory_order_relaxed);
+  }
+  std::size_t control_shard() const noexcept {
+    return control_shard_.load(std::memory_order_relaxed);
+  }
 
   /// Milliseconds after which acquire() throws (deadlock guard).
   /// 0 disables the guard. Not thread-safe; set before concurrent use.
@@ -93,6 +106,7 @@ class RequestQueue {
   std::uint64_t grants_ = 0;
   std::uint64_t timeout_ms_ = 120000;
   ControlPlane* control_ = nullptr;
+  std::atomic<std::uint32_t> control_shard_{0};
 };
 
 }  // namespace orwl::rt

@@ -1,0 +1,48 @@
+// Control-plane sharding: partition the machine's PUs into locality
+// shards.
+//
+// The runtime's sharded control plane keeps one event queue (and its
+// control threads) per locality domain so that a lock hand-off is served
+// by a control thread sitting close to the waiter it wakes. This header
+// provides the topology side of that design: a partition of the PUs into
+// `num_shards` contiguous topology subtrees, NUMA-node-aligned whenever
+// the machine has NUMA nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace orwl::topo {
+
+/// A partition of a machine's PUs into control shards. PUs that share a
+/// locality domain (NUMA node when available) share a shard, and shards
+/// cover contiguous ranges of the topology's left-to-right PU order.
+struct ShardMap {
+  std::size_t num_shards = 1;
+
+  /// Shard index per PU *os index* (the id used for binding); -1 for os
+  /// indices that do not name a PU of the mapped machine.
+  std::vector<int> shard_of_pu_os;
+
+  /// Shard of the PU with the given os index; -1 when the os index is
+  /// unknown (callers fall back to a round-robin shard).
+  int shard_of(int pu_os_index) const noexcept;
+};
+
+/// Natural shard count of a machine: its number of NUMA nodes, falling
+/// back to packages and then groups for machines without a NUMA level.
+/// Machines with no locality domain at all (flat fixtures, single-socket
+/// hosts) get 1 — sharding buys nothing without distinct domains.
+std::size_t recommended_shard_count(const Topology& t) noexcept;
+
+/// Partition the PUs of `t` into `num_shards` shards. The partition is
+/// computed on the shallowest topology level with at least `num_shards`
+/// objects, assigning object i of that level to shard i*S/count, so each
+/// shard is a union of whole subtrees (e.g. 20 NUMA nodes over 4 shards
+/// => 5 consecutive nodes per shard). `num_shards` is clamped to
+/// [1, num_pus]; an empty topology yields a single-shard map.
+ShardMap make_shard_map(const Topology& t, std::size_t num_shards);
+
+}  // namespace orwl::topo

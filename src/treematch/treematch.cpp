@@ -114,6 +114,14 @@ Placement tree_match(const Topology& topo, const CommMatrix& m,
   const std::size_t p = m.order();
   const std::size_t nc = opts.num_control_threads;
 
+  // Resolved associate of control thread j: caller-provided, defaulting
+  // to round-robin over the compute threads.
+  auto associate_of = [&](std::size_t j) -> std::size_t {
+    return j < opts.control_associate.size() && opts.control_associate[j] >= 0
+               ? static_cast<std::size_t>(opts.control_associate[j]) % p
+               : j % p;
+  };
+
   // ---- Compute slots: one per physical core. --------------------------
   // "we map only one compute intensive task per physical core" (Sec. IV-A)
   std::vector<const Object*> slots;  // core-like objects
@@ -143,12 +151,7 @@ Placement tree_match(const Topology& topo, const CommMatrix& m,
         m.max_entry() > 0 ? m.max_entry() / 1e6 : 1.0;
     for (std::size_t j = 0; j < nc; ++j) {
       const std::size_t ext = p + (j % num_extension);
-      const std::size_t assoc =
-          j < opts.control_associate.size() &&
-                  opts.control_associate[j] >= 0
-              ? static_cast<std::size_t>(opts.control_associate[j]) % p
-              : j % p;
-      work.add(ext, assoc, eps);
+      work.add(ext, associate_of(j), eps);
     }
   }
   const std::size_t total_entities = work.order();
@@ -250,15 +253,13 @@ Placement tree_match(const Topology& topo, const CommMatrix& m,
   }
 
   result.control_pu.assign(nc, -1);
+  result.control_associate.resize(nc);
+  for (std::size_t j = 0; j < nc; ++j) {
+    result.control_associate[j] = static_cast<int>(associate_of(j));
+  }
   if (policy == ControlPolicy::HyperthreadSiblings) {
     for (std::size_t j = 0; j < nc; ++j) {
-      const std::size_t assoc =
-          j < opts.control_associate.size() &&
-                  opts.control_associate[j] >= 0
-              ? static_cast<std::size_t>(opts.control_associate[j]) % p
-              : j % p;
-      const std::size_t slot =
-          leaf_to_slot(leaf_of_thread[assoc]);
+      const std::size_t slot = leaf_to_slot(leaf_of_thread[associate_of(j)]);
       if (const Object* sib = sibling_pu(slots[slot])) {
         result.control_pu[j] = sib->os_index;
       }
@@ -273,6 +274,21 @@ Placement tree_match(const Topology& topo, const CommMatrix& m,
     }
   }
   return result;
+}
+
+std::vector<int> control_shard_of(const Placement& placement,
+                                  const topo::ShardMap& shards) {
+  std::vector<int> out(placement.control_associate.size(), -1);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const int assoc = placement.control_associate[j];
+    if (assoc < 0 ||
+        static_cast<std::size_t>(assoc) >= placement.compute_pu.size()) {
+      continue;
+    }
+    out[j] =
+        shards.shard_of(placement.compute_pu[static_cast<std::size_t>(assoc)]);
+  }
+  return out;
 }
 
 double modeled_cost(const Topology& topo, const CommMatrix& m,

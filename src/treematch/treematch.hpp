@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "topo/shard.hpp"
 #include "topo/topology.hpp"
 #include "treematch/comm_matrix.hpp"
 #include "treematch/grouping.hpp"
@@ -57,6 +58,13 @@ struct Options {
 struct Placement {
   std::vector<int> compute_pu;  ///< os index of the PU for each thread.
   std::vector<int> control_pu;  ///< os index per control thread; -1 = OS.
+
+  /// Resolved associate of each control thread: the compute thread whose
+  /// locations control thread j manages (Options::control_associate with
+  /// the round-robin default applied). Runtimes use this to map control
+  /// threads onto control-plane shards.
+  std::vector<int> control_associate;
+
   ControlPolicy control_policy = ControlPolicy::Unmanaged;
   bool oversubscribed = false;
 
@@ -78,5 +86,14 @@ Placement tree_match(const topo::Topology& topo, const CommMatrix& m,
 /// is the model objective used by tests and the ablation benches.
 double modeled_cost(const topo::Topology& topo, const CommMatrix& m,
                     const Placement& placement);
+
+/// Control-plane shard served by each control thread under `shards`: the
+/// shard of its associate's compute PU (-1 when the associate is absent
+/// or unplaced). Introspection helper for verifying that a placement's
+/// control threads are aligned with the runtime's fixed thread -> shard
+/// assignment (ControlPlane::shard_of_thread); the runtime itself routes
+/// each location by its owner's compute PU (Program::route_queues).
+std::vector<int> control_shard_of(const Placement& placement,
+                                  const topo::ShardMap& shards);
 
 }  // namespace orwl::tm

@@ -3,8 +3,10 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "pool/thread_pool.hpp"
+#include "support/env.hpp"
 #include "topo/binding.hpp"
 #include "topo/machines.hpp"
 
@@ -121,6 +123,109 @@ TEST(ThreadPool, ScatterStrategyOnSyntheticTopologyWithoutBinding) {
     nodes.insert(pu / 8);
   }
   EXPECT_EQ(nodes.size(), 8u);
+}
+
+TEST(ThreadPool, ThrowingMasterDrainsRegionAndPoolSurvives) {
+  // Regression: the master's exception used to propagate before done_cv_
+  // was waited on, leaving working_ > 0 and the pool corrupt for the next
+  // region (the next run_region's wait saw a stale count and deadlocked).
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel([](std::size_t tid) {
+                 if (tid == 0) throw std::runtime_error("master boom");
+               }),
+               std::runtime_error);
+  // The pool must be fully reusable after the throwing region.
+  std::atomic<int> runs{0};
+  pool.parallel([&](std::size_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 4);
+  EXPECT_EQ(pool.regions(), 2u);
+}
+
+TEST(ThreadPool, ThrowingWorkerPropagatesToCaller) {
+  ThreadPool pool(4);
+  // parallel_for gives the last chunk to a worker thread; its exception
+  // must surface on the calling thread once the region has drained.
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 99) {
+                                     throw std::runtime_error("worker boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  std::atomic<int> runs{0};
+  pool.parallel([&](std::size_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST(ThreadPool, RepeatedThrowingRegionsDoNotCorruptThePool) {
+  ThreadPool pool(3);
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_THROW(
+        pool.parallel([](std::size_t) { throw std::logic_error("boom"); }),
+        std::logic_error);
+  }
+  long sum = 0;
+  std::mutex mu;
+  pool.parallel_for(0, 100, [&](std::size_t i) {
+    std::unique_lock lock(mu);
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, BindingsStableImmediatelyAfterConstruction) {
+  // Regression: workers used to be bound from the constructor thread
+  // *after* std::thread had started them (first instructions on an
+  // arbitrary PU, bindings_[w] written racily). With the startup
+  // handshake the worker binds itself and bindings() is final once the
+  // constructor returns — the very first region already observes it.
+  const int ncpu = orwl::topo::host_cpu_count();
+  const std::size_t n = std::min<std::size_t>(4, ncpu);
+  PoolOptions opts;
+  opts.strategy = Strategy::CompactCores;
+  ThreadPool pool(n, opts);
+  const std::vector<int> at_ctor = pool.bindings();
+  std::mutex mu;
+  std::vector<int> first_cpu(n, -1);
+  pool.parallel([&](std::size_t tid) {
+    std::unique_lock lock(mu);
+    first_cpu[tid] = orwl::topo::current_cpu();
+  });
+  EXPECT_EQ(pool.bindings(), at_ctor);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (at_ctor[t] >= 0) {
+      EXPECT_EQ(first_cpu[t], at_ctor[t]) << "thread " << t;
+    }
+  }
+}
+
+TEST(ThreadPool, WorkerSelfBindingUnderTopologyFixture) {
+  // Same handshake, exercised through the ORWL_TOPOLOGY fixture override:
+  // detection yields a flat fixture whose PU os indices are real host
+  // CPUs, so the workers' self-binding goes through the actual
+  // sched_setaffinity path and is observable on the first job.
+  const int ncpu = orwl::topo::host_cpu_count();
+  const std::string spec = "flat:" + std::to_string(ncpu);
+  orwl::support::ScopedEnv fixture("ORWL_TOPOLOGY", spec.c_str());
+  const std::size_t n = std::min<std::size_t>(4, ncpu);
+  PoolOptions opts;
+  opts.strategy = Strategy::CompactCores;
+  ThreadPool pool(n, opts);
+  std::mutex mu;
+  std::vector<int> first_cpu(n, -1);
+  pool.parallel([&](std::size_t tid) {
+    std::unique_lock lock(mu);
+    first_cpu[tid] = orwl::topo::current_cpu();
+  });
+  for (std::size_t t = 0; t < n; ++t) {
+    // A restricted cpuset (container/taskset) may forbid CPU t; the
+    // handshake then records -1. Where the bind stuck, the first job
+    // must already observe it.
+    if (pool.bindings()[t] >= 0) {
+      EXPECT_EQ(pool.bindings()[t], static_cast<int>(t)) << "thread " << t;
+      EXPECT_EQ(first_cpu[t], pool.bindings()[t]) << "thread " << t;
+    }
+  }
 }
 
 TEST(ThreadPool, ExceptionSafetyNestedWork) {

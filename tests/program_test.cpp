@@ -567,4 +567,93 @@ TEST(Program, ControlEventsAreCounted) {
       << "control threads performed no hand-offs";
 }
 
+// ----------------------------------------------------- control sharding ----
+
+TEST(ProgramShards, ShardCountFollowsTopologyClampedToThreads) {
+  const auto synthetic = orwl::topo::make_smp20e7();
+  ProgramOptions o = quiet_options();
+  o.topology = &synthetic;
+  o.bind_threads = false;
+  o.control_threads = 8;
+  Program p(4, o);
+  // 20 NUMA nodes recommended, but only 8 control threads to serve them.
+  EXPECT_EQ(p.num_control_shards(), 8u);
+  EXPECT_EQ(p.stats().control_shards, 8u);
+
+  o.control_threads = 20;
+  Program q(4, o);
+  EXPECT_EQ(q.num_control_shards(), 20u);
+  EXPECT_EQ(q.shard_map().num_shards, 20u);
+  EXPECT_EQ(q.shard_map().shard_of(0), 0);
+  EXPECT_EQ(q.shard_map().shard_of(159), 19);
+}
+
+TEST(ProgramShards, EnvOverrideControlShards) {
+  const auto synthetic = orwl::topo::make_smp20e7();
+  ProgramOptions o = quiet_options();
+  o.topology = &synthetic;
+  o.bind_threads = false;
+  o.control_threads = 8;
+  orwl::support::ScopedEnv guard("ORWL_CONTROL_SHARDS", "2");
+  Program p(4, o);
+  EXPECT_EQ(p.num_control_shards(), 2u);
+  guard.set("64");  // clamped to the thread count
+  Program q(4, o);
+  EXPECT_EQ(q.num_control_shards(), 8u);
+}
+
+TEST(ProgramShards, ExplicitOptionBeatsEnvAndTopology) {
+  const auto synthetic = orwl::topo::make_smp20e7();
+  ProgramOptions o = quiet_options();
+  o.topology = &synthetic;
+  o.bind_threads = false;
+  o.control_threads = 8;
+  o.control_shards = 3;
+  orwl::support::ScopedEnv guard("ORWL_CONTROL_SHARDS", "5");
+  Program p(4, o);
+  EXPECT_EQ(p.num_control_shards(), 3u);
+}
+
+TEST(ProgramShards, ShardedRunCompletesAndCountsEvents) {
+  // End-to-end: ring of tasks on the smp20e7 fixture with a sharded
+  // plane; placement routes every queue to the shard of its owner's PU
+  // and the run must complete with hand-offs spread over the shards.
+  const auto synthetic = orwl::topo::make_smp20e7();
+  ProgramOptions o;
+  o.affinity = AffinityMode::On;
+  o.topology = &synthetic;
+  o.bind_threads = false;
+  o.acquire_timeout_ms = 20000;
+  o.control_threads = 8;
+  Program prog(8, o);
+  prog.set_task_body([&](TaskContext& ctx) {
+    ctx.scale(128);
+    Handle2 own;
+    Handle2 next;
+    own.write_insert(ctx, ctx.my_location(), 0);
+    next.read_insert(ctx, ctx.location((ctx.id() + 1) % 8), 1);
+    ctx.schedule();
+    for (int i = 0; i < 10; ++i) {
+      { Section s(own); }
+      { Section s(next); }
+    }
+  });
+  prog.run();
+  EXPECT_EQ(prog.num_control_shards(), 8u);
+  EXPECT_GT(prog.stats().control_events + prog.stats().control_inline_grants,
+            0u);
+  // Queues were re-routed from the placement: every location's shard must
+  // match its owner's compute PU under the program's shard map.
+  const auto& pl = prog.placement();
+  for (std::size_t t = 0; t < 8; ++t) {
+    const int pu = pl.compute_pu[t];
+    if (pu < 0) continue;
+    const int want = prog.shard_map().shard_of(pu);
+    if (want < 0) continue;
+    EXPECT_EQ(prog.location(t).queue().control_shard(),
+              static_cast<std::size_t>(want))
+        << "task " << t;
+  }
+}
+
 }  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "topo/machines.hpp"
+#include "topo/shard.hpp"
+
+namespace {
+
+using namespace orwl::topo;
+
+// ---------------------------------------------- recommended_shard_count ----
+
+TEST(ShardCount, PaperMachinesGetOneShardPerNumaNode) {
+  EXPECT_EQ(recommended_shard_count(make_smp12e5()), 12u);
+  EXPECT_EQ(recommended_shard_count(make_smp20e7()), 20u);
+}
+
+TEST(ShardCount, Fig2FallsBackToPackages) {
+  // No NUMA level on the Fig. 2 machine; the four sockets are the
+  // locality domains.
+  EXPECT_EQ(recommended_shard_count(make_fig2_machine()), 4u);
+}
+
+TEST(ShardCount, FlatMachineHasNoLocalityDomains) {
+  EXPECT_EQ(recommended_shard_count(make_flat(8)), 1u);
+}
+
+TEST(ShardCount, SyntheticNumaCountsNodes) {
+  EXPECT_EQ(recommended_shard_count(make_numa(2, 4, 1)), 2u);
+}
+
+TEST(ShardCount, EmptyTopologyIsSingleShard) {
+  EXPECT_EQ(recommended_shard_count(Topology{}), 1u);
+}
+
+// ------------------------------------------------------- make_shard_map ----
+
+TEST(ShardMap, Smp20e7OneShardPerNode) {
+  const Topology t = make_smp20e7();
+  const ShardMap m = make_shard_map(t, 20);
+  ASSERT_EQ(m.num_shards, 20u);
+  // 8 cores x 1 PU per node, os indices laid out node-major.
+  EXPECT_EQ(m.shard_of(0), 0);
+  EXPECT_EQ(m.shard_of(7), 0);
+  EXPECT_EQ(m.shard_of(8), 1);
+  EXPECT_EQ(m.shard_of(152), 19);
+  EXPECT_EQ(m.shard_of(159), 19);
+}
+
+TEST(ShardMap, FewerShardsGroupContiguousNodes) {
+  const Topology t = make_smp20e7();
+  const ShardMap m = make_shard_map(t, 4);
+  ASSERT_EQ(m.num_shards, 4u);
+  // 20 nodes over 4 shards: node n -> shard n*4/20 (5 nodes per shard).
+  EXPECT_EQ(m.shard_of(0), 0);
+  EXPECT_EQ(m.shard_of(39), 0);    // node 4, last PU
+  EXPECT_EQ(m.shard_of(40), 1);    // node 5, first PU
+  EXPECT_EQ(m.shard_of(159), 3);
+  // Shards are contiguous in PU order: never decreasing.
+  int prev = 0;
+  for (int pu = 0; pu < 160; ++pu) {
+    const int s = m.shard_of(pu);
+    ASSERT_GE(s, prev) << "PU " << pu;
+    prev = s;
+  }
+}
+
+TEST(ShardMap, Fig2FourShardsAreTheSockets) {
+  const Topology t = make_fig2_machine();
+  const ShardMap m = make_shard_map(t, 4);
+  ASSERT_EQ(m.num_shards, 4u);
+  EXPECT_EQ(m.shard_of(0), 0);
+  EXPECT_EQ(m.shard_of(7), 0);
+  EXPECT_EQ(m.shard_of(8), 1);
+  EXPECT_EQ(m.shard_of(16), 2);
+  EXPECT_EQ(m.shard_of(24), 3);
+  EXPECT_EQ(m.shard_of(31), 3);
+}
+
+TEST(ShardMap, Smp12e5HyperthreadSiblingsShareAShard) {
+  const Topology t = make_smp12e5();
+  const ShardMap m = make_shard_map(t, 12);
+  // Compute PU and its hyperthread sibling must route to the same shard.
+  for (int pu = 0; pu < 192; pu += 2) {
+    EXPECT_EQ(m.shard_of(pu), m.shard_of(pu + 1)) << "PU " << pu;
+  }
+  EXPECT_EQ(m.shard_of(0), 0);
+  EXPECT_EQ(m.shard_of(191), 11);
+}
+
+TEST(ShardMap, ClampsShardCountToPuCount) {
+  const Topology t = make_flat(4);
+  const ShardMap m = make_shard_map(t, 16);
+  EXPECT_EQ(m.num_shards, 4u);
+  EXPECT_EQ(m.shard_of(0), 0);
+  EXPECT_EQ(m.shard_of(3), 3);
+}
+
+TEST(ShardMap, SingleShardMapsEveryPuToZero) {
+  const Topology t = make_smp12e5();
+  const ShardMap m = make_shard_map(t, 1);
+  ASSERT_EQ(m.num_shards, 1u);
+  for (int pu = 0; pu < 192; ++pu) EXPECT_EQ(m.shard_of(pu), 0);
+}
+
+TEST(ShardMap, UnknownOsIndexYieldsMinusOne) {
+  const ShardMap m = make_shard_map(make_flat(4), 2);
+  EXPECT_EQ(m.shard_of(-1), -1);
+  EXPECT_EQ(m.shard_of(99), -1);
+}
+
+TEST(ShardMap, DefaultConstructedMapKnowsNothing) {
+  const ShardMap m;
+  EXPECT_EQ(m.num_shards, 1u);
+  EXPECT_EQ(m.shard_of(0), -1);
+}
+
+}  // namespace
