@@ -8,7 +8,7 @@
 //
 // Counters: items = completed lock cycles; "inline" = grants the plane
 // performed inline (saturation/stop fallback, should stay near zero).
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include <cstddef>
 #include <thread>
@@ -102,4 +102,4 @@ BENCHMARK(BM_ShardedHandOff)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ORWL_BENCH_MAIN();

@@ -1,5 +1,5 @@
 // Microbenchmark of the blocked DGEMM kernel (the MKL substitute).
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include <vector>
 
@@ -45,4 +45,4 @@ BENCHMARK(BM_DgemmNaive)->Arg(128)->Arg(256)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ORWL_BENCH_MAIN();

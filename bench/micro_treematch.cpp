@@ -2,7 +2,7 @@
 // kept negligible for current SMP machines" (Sec. IV-A, footnote 2):
 // Algorithm 1's running time as the thread count grows, with the Auto
 // engine switching from the exact to the greedy grouping.
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include "affinity/affinity.hpp"
 #include "support/rng.hpp"
@@ -82,4 +82,4 @@ BENCHMARK(BM_DependencyExtraction)->Arg(32)->Arg(128)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ORWL_BENCH_MAIN();

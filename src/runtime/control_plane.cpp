@@ -15,6 +15,15 @@ std::size_t clamp_shards(const ControlPlaneOptions& opts) {
   return std::clamp<std::size_t>(opts.num_shards, 1, opts.num_threads);
 }
 
+// A queue that posted several events into one drained batch needs only a
+// single grant pass: every release behind those posts already happened,
+// so one grant_from_control covers them all without re-taking the
+// queue's mutex per duplicate event.
+void dedupe_queues(std::vector<RequestQueue*>& queues) {
+  std::sort(queues.begin(), queues.end());
+  queues.erase(std::unique(queues.begin(), queues.end()), queues.end());
+}
+
 }  // namespace
 
 ControlPlane::ControlPlane(std::size_t nthreads)
@@ -63,17 +72,19 @@ void ControlPlane::stop() {
   threads_.clear();
   // Workers drain their shard before exiting and posts observe `stopping`
   // under the shard mutex, so leftovers here mean a worker died early;
-  // grant them inline regardless so no waiter stays ungranted.
+  // grant them inline regardless (deduplicated, counted per event) so no
+  // waiter stays ungranted.
   for (auto& shard : shards_) {
     std::deque<RequestQueue*> leftovers;
     {
       std::unique_lock lock(shard->mu);
       leftovers.swap(shard->events);
     }
-    for (RequestQueue* q : leftovers) {
-      q->grant_from_control();
-      inline_grants_.fetch_add(1, std::memory_order_relaxed);
-    }
+    std::vector<RequestQueue*> unique_queues(leftovers.begin(),
+                                             leftovers.end());
+    dedupe_queues(unique_queues);
+    for (RequestQueue* q : unique_queues) q->grant_from_control();
+    inline_grants_.fetch_add(leftovers.size(), std::memory_order_relaxed);
   }
 }
 
@@ -97,6 +108,7 @@ void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
 void ControlPlane::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::deque<RequestQueue*> batch;
+  std::vector<RequestQueue*> unique_queues;
   for (;;) {
     {
       std::unique_lock lock(shard.mu);
@@ -106,8 +118,11 @@ void ControlPlane::worker_loop(std::size_t shard_index) {
       batch.swap(shard.events);
     }
     // Batched draining: grant every event of the wakeup outside the shard
-    // mutex, so posters never wait behind grant work.
-    for (RequestQueue* q : batch) q->grant_from_control();
+    // mutex, so posters never wait behind grant work, deduplicated so a
+    // busy queue is granted once per batch.
+    unique_queues.assign(batch.begin(), batch.end());
+    dedupe_queues(unique_queues);
+    for (RequestQueue* q : unique_queues) q->grant_from_control();
     shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
     shard.batches.fetch_add(1, std::memory_order_relaxed);
     batch.clear();

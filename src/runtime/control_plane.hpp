@@ -8,7 +8,8 @@
 // The control plane is a *sharded* event queue served by dedicated OS
 // threads: every lock release posts a hand-off event to the shard nearest
 // the waiters of its queue; a control thread of that shard drains all
-// pending events of the shard in one wakeup (batched draining) and
+// pending events of the shard in one wakeup (batched draining, duplicate
+// events of one queue collapsed into a single grant pass) and
 // performs the grant + wake-up of the next requesters. One shard is kept
 // per NUMA node (or per top-level topology subtree), so hand-offs of
 // unrelated locality domains never contend on a common mutex. These are

@@ -123,6 +123,10 @@ void Program::register_insert(TaskId task, Location& loc, AccessMode mode,
       Access{task, mode, priority});
   graph_.locations[loc.id()].bytes = loc.size();
   lock.unlock();
+  // Route the queue to its owner's control shard now, under the placement
+  // that exists at insert time, instead of leaving it on the constructor's
+  // owner-round-robin shard until the next affinity_compute().
+  route_queue(loc);
   handle->attach_ticket(loc.queue().enqueue(mode));
 }
 
@@ -236,17 +240,27 @@ std::vector<int> Program::shard_aligned_associates(
   return assoc;
 }
 
-void Program::route_queues_locked() {
-  const std::size_t nshards = control_->num_shards();
-  if (nshards <= 1) return;
-  for (auto& loc : locations_) {
-    const TaskId owner = loc->owner();
-    int shard = have_placement_ && owner < placement_.compute_pu.size()
-                    ? shard_map_.shard_of(placement_.compute_pu[owner])
-                    : -1;
-    if (shard < 0) shard = static_cast<int>(owner % nshards);
-    loc->queue().set_control_shard(static_cast<std::size_t>(shard));
+std::size_t Program::shard_for_owner_locked(TaskId owner) const {
+  int shard = have_placement_ && owner < placement_.compute_pu.size()
+                  ? shard_map_.shard_of(placement_.compute_pu[owner])
+                  : -1;
+  if (shard < 0) {
+    shard = static_cast<int>(owner % control_->num_shards());
   }
+  return static_cast<std::size_t>(shard);
+}
+
+void Program::route_queues_locked() {
+  if (control_->num_shards() <= 1) return;
+  for (auto& loc : locations_) {
+    loc->queue().set_control_shard(shard_for_owner_locked(loc->owner()));
+  }
+}
+
+void Program::route_queue(Location& loc) {
+  if (control_->num_shards() <= 1) return;
+  std::lock_guard lock(place_mu_);
+  loc.queue().set_control_shard(shard_for_owner_locked(loc.owner()));
 }
 
 void Program::affinity_compute() {

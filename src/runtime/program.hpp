@@ -182,10 +182,21 @@ class Program {
   /// j % num_shards) manages a task whose queues route to that shard.
   std::vector<int> shard_aligned_associates(const tm::Placement& p) const;
 
+  /// Shard serving `owner`'s compute PU under the current placement
+  /// (falling back to owner round-robin when unplaced). Caller holds
+  /// place_mu_.
+  std::size_t shard_for_owner_locked(TaskId owner) const;
+
   /// Route every location's hand-off events to the shard of its owner's
   /// compute PU (falling back to owner round-robin when unplaced).
   /// Caller holds place_mu_.
   void route_queues_locked();
+
+  /// Route one location under the current placement. Used for live
+  /// inserts (dynamic mode), so a location first touched after schedule()
+  /// reaches its owner's shard immediately instead of keeping the
+  /// owner-round-robin default until the next affinity_compute().
+  void route_queue(Location& loc);
 
   const std::size_t num_tasks_;
   ProgramOptions opts_;

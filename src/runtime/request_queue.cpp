@@ -1,6 +1,5 @@
 #include "runtime/request_queue.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -8,122 +7,259 @@
 
 namespace orwl::rt {
 
-Ticket RequestQueue::enqueue(AccessMode mode) {
-  std::unique_lock lock(mu_);
-  const Ticket t = next_ticket_++;
-  q_.push_back(Entry{t, mode, false});
-  if (grant_head_locked()) cv_.notify_all();
+RequestQueue::RequestQueue() {
+  windows_.push_back(std::make_unique<Window>(kInitialWindowCapacity));
+  cur_ = windows_.back().get();
+  window_.store(cur_, std::memory_order_release);
+}
+
+Ticket RequestQueue::enqueue_locked(AccessMode mode) {
+  if (tail_ - head_ > cur_->mask) grow_locked();
+  if (free_slots_.empty()) {
+    slab_.push_back(std::make_unique<Slot[]>(kSlotChunk));
+    Slot* chunk = slab_.back().get();
+    for (std::size_t i = 0; i < kSlotChunk; ++i) {
+      free_slots_.push_back(&chunk[i]);
+    }
+  }
+  Slot* s = free_slots_.back();
+  free_slots_.pop_back();
+  const Ticket t = tail_++;
+  s->mode = mode;
+  s->word.store(pack(t, kWaiting), std::memory_order_relaxed);
+  // Release store: a lock-free reader that reaches this slot through the
+  // window sees the initialized state word and mode.
+  cur_->slots[t & cur_->mask].store(s, std::memory_order_release);
   return t;
 }
 
-bool RequestQueue::grant_head_locked() {
-  bool any = false;
-  if (q_.empty()) return false;
-  if (q_.front().mode == AccessMode::Write) {
-    if (!q_.front().granted) {
-      q_.front().granted = true;
-      ++grants_;
-      any = true;
-    }
-    return any;
+void RequestQueue::grow_locked() {
+  auto grown = std::make_unique<Window>(2 * (cur_->mask + 1));
+  for (Ticket u = head_; u < tail_; ++u) {
+    grown->slots[u & grown->mask].store(
+        cur_->slots[u & cur_->mask].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
-  // Reader sharing: grant the maximal leading run of reads.
-  for (auto& e : q_) {
-    if (e.mode != AccessMode::Read) break;
-    if (!e.granted) {
-      e.granted = true;
-      ++grants_;
-      any = true;
-    }
+  cur_ = grown.get();
+  windows_.push_back(std::move(grown));
+  // The old window stays allocated (retired): stale lock-free lookups may
+  // still dereference it, and its entries remain correct for every ticket
+  // that existed when it was current.
+  window_.store(cur_, std::memory_order_release);
+}
+
+RequestQueue::Slot* RequestQueue::granted_slot_locked(
+    Ticket t) const noexcept {
+  if (t < head_ || t >= tail_) return nullptr;
+  Slot* s = cur_->slots[t & cur_->mask].load(std::memory_order_relaxed);
+  if (s == nullptr) return nullptr;
+  if (s->word.load(std::memory_order_relaxed) != pack(t, kGranted)) {
+    return nullptr;
+  }
+  return s;
+}
+
+void RequestQueue::release_locked(Ticket t, Slot* s) {
+  s->word.store(0, std::memory_order_relaxed);
+  cur_->slots[t & cur_->mask].store(nullptr, std::memory_order_relaxed);
+  free_slots_.push_back(s);
+  // Advance past the tombstones of the released head group. Entries at or
+  // beyond grant_cursor_ are ungranted, hence unreleased, hence live — so
+  // head_ can never pass grant_cursor_.
+  while (head_ < tail_ && cur_->slots[head_ & cur_->mask].load(
+                              std::memory_order_relaxed) == nullptr) {
+    ++head_;
+  }
+}
+
+void RequestQueue::grant_one_locked(Ticket t, Slot* s,
+                                    std::vector<Slot*>& wake) {
+  const std::uint64_t prev =
+      s->word.exchange(pack(t, kGranted), std::memory_order_acq_rel);
+  grants_.fetch_add(1, std::memory_order_relaxed);
+  if ((prev & kPhaseMask) == kParked) wake.push_back(s);
+}
+
+bool RequestQueue::grant_some_locked(std::vector<Slot*>& wake) {
+  if (head_ == tail_) return false;
+  Slot* head_slot =
+      cur_->slots[head_ & cur_->mask].load(std::memory_order_relaxed);
+  if (head_slot->mode == AccessMode::Write) {
+    if (grant_cursor_ != head_) return false;  // writer already granted
+    grant_one_locked(head_, head_slot, wake);
+    ++grant_cursor_;
+    return true;
+  }
+  // Reader sharing: the leading run [head_, grant_cursor_) is already
+  // granted reads; extend the group over every contiguous read behind it.
+  bool any = false;
+  while (grant_cursor_ < tail_) {
+    Slot* s = cur_->slots[grant_cursor_ & cur_->mask].load(
+        std::memory_order_relaxed);
+    if (s->mode != AccessMode::Read) break;
+    grant_one_locked(grant_cursor_, s, wake);
+    ++grant_cursor_;
+    any = true;
   }
   return any;
 }
 
-void RequestQueue::acquire(Ticket t) {
-  std::unique_lock lock(mu_);
-  auto find = [&]() {
-    return std::find_if(q_.begin(), q_.end(),
-                        [&](const Entry& e) { return e.ticket == t; });
-  };
-  auto it = find();
-  if (it == q_.end()) {
-    throw std::runtime_error("RequestQueue::acquire: unknown ticket");
+bool RequestQueue::hand_off_locked(std::vector<Slot*>& wake) {
+  if (control_ != nullptr) {
+    // Decentralized hand-off: a control thread of our shard performs the
+    // grant. Only post when the new head group actually has an ungranted
+    // request (head_ == grant_cursor_): a partially released reader group
+    // cannot admit the writer behind it yet, and an empty queue has no one
+    // to thaw. post() is safe in every plane state — it grants inline when
+    // the plane is stopped, stopping, or the shard is saturated — so a
+    // release racing ControlPlane::stop() can never strand a waiter.
+    return head_ == grant_cursor_ && head_ != tail_;
   }
-  if (timeout_ms_ == 0) {
-    cv_.wait(lock, [&] {
-      auto i = find();
-      return i != q_.end() && i->granted;
-    });
+  grant_some_locked(wake);
+  return false;
+}
+
+Ticket RequestQueue::enqueue(AccessMode mode) {
+  std::vector<Slot*> wake;
+  Ticket t;
+  {
+    std::lock_guard lock(mu_);
+    t = enqueue_locked(mode);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    grant_some_locked(wake);
+  }
+  wake_parked(wake);
+  return t;
+}
+
+void RequestQueue::acquire(Ticket t) {
+  // Lock-free fast path: the grant was already published.
+  const Window* w = window_.load(std::memory_order_acquire);
+  const Slot* s = w->slots[t & w->mask].load(std::memory_order_acquire);
+  if (s != nullptr &&
+      s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
     return;
   }
-  const bool ok =
-      cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_), [&] {
-        auto i = find();
-        return i != q_.end() && i->granted;
-      });
-  if (!ok) {
-    throw std::runtime_error(
-        "RequestQueue::acquire: timed out waiting for grant (likely a "
-        "deadlocked access protocol)");
+  acquire_slow(t);
+}
+
+void RequestQueue::acquire_slow(Ticket t) {
+  Slot* s = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (t >= head_ && t < tail_) {
+      s = cur_->slots[t & cur_->mask].load(std::memory_order_relaxed);
+    }
+    if (s == nullptr ||
+        (s->word.load(std::memory_order_relaxed) >> kPhaseBits) != t) {
+      throw std::runtime_error("RequestQueue::acquire: unknown ticket");
+    }
+    if (s->word.load(std::memory_order_relaxed) == pack(t, kGranted)) {
+      return;
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  std::unique_lock park(s->park_mu);
+  // Announce the parking while holding park_mu: the granter's exchange
+  // either happens first (we observe kGranted here) or sees kParked and
+  // serializes on park_mu before notifying, so the wakeup cannot be lost.
+  std::uint64_t expected = pack(t, kWaiting);
+  if (!s->word.compare_exchange_strong(expected, pack(t, kParked),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    if (expected == pack(t, kGranted)) return;
+    if (expected != pack(t, kParked)) {
+      throw std::runtime_error("RequestQueue::acquire: unknown ticket");
+    }
+    // Already parked: a previous acquire of this ticket timed out and left
+    // the announcement in place. Fall through and wait for the grant.
+  }
+  for (;;) {
+    if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
+      return;
+    }
+    if (timeout_ms_ == 0) {
+      s->park_cv.wait(park);
+    } else if (s->park_cv.wait_until(park, deadline) ==
+               std::cv_status::timeout) {
+      if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
+        return;
+      }
+      throw std::runtime_error(
+          "RequestQueue::acquire: timed out waiting for grant (likely a "
+          "deadlocked access protocol)");
+    }
   }
 }
 
 bool RequestQueue::granted(Ticket t) const {
-  std::unique_lock lock(mu_);
-  const auto it = std::find_if(q_.begin(), q_.end(),
-                               [&](const Entry& e) { return e.ticket == t; });
-  return it != q_.end() && it->granted;
-}
-
-void RequestQueue::hand_off_locked(std::unique_lock<std::mutex>& lock) {
-  if (control_ != nullptr) {
-    // Decentralized hand-off: a control thread of our shard performs the
-    // grant. post() is safe in every plane state — it grants inline when
-    // the plane is stopped, stopping, or the shard is saturated — so a
-    // release racing ControlPlane::stop() can never strand a waiter.
-    lock.unlock();
-    control_->post(this, control_shard_.load(std::memory_order_relaxed));
-  } else {
-    if (grant_head_locked()) cv_.notify_all();
-    lock.unlock();
-  }
+  const Window* w = window_.load(std::memory_order_acquire);
+  const Slot* s = w->slots[t & w->mask].load(std::memory_order_acquire);
+  return s != nullptr &&
+         s->word.load(std::memory_order_acquire) == pack(t, kGranted);
 }
 
 void RequestQueue::release(Ticket t) {
-  std::unique_lock lock(mu_);
-  const auto it = std::find_if(q_.begin(), q_.end(),
-                               [&](const Entry& e) { return e.ticket == t; });
-  if (it == q_.end() || !it->granted) {
-    throw std::logic_error("RequestQueue::release: ticket not granted");
+  std::vector<Slot*> wake;
+  bool post;
+  {
+    std::lock_guard lock(mu_);
+    Slot* s = granted_slot_locked(t);
+    if (s == nullptr) {
+      throw std::logic_error("RequestQueue::release: ticket not granted");
+    }
+    release_locked(t, s);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    post = hand_off_locked(wake);
   }
-  q_.erase(it);
-  hand_off_locked(lock);
+  if (post) {
+    control_->post(this, control_shard_.load(std::memory_order_relaxed));
+  }
+  wake_parked(wake);
 }
 
 Ticket RequestQueue::reinsert_and_release(Ticket t, AccessMode mode) {
-  std::unique_lock lock(mu_);
-  const auto it = std::find_if(q_.begin(), q_.end(),
-                               [&](const Entry& e) { return e.ticket == t; });
-  if (it == q_.end() || !it->granted) {
-    throw std::logic_error(
-        "RequestQueue::reinsert_and_release: ticket not granted");
+  std::vector<Slot*> wake;
+  Ticket fresh;
+  bool post;
+  {
+    std::lock_guard lock(mu_);
+    Slot* s = granted_slot_locked(t);
+    if (s == nullptr) {
+      throw std::logic_error(
+          "RequestQueue::reinsert_and_release: ticket not granted");
+    }
+    fresh = enqueue_locked(mode);
+    release_locked(t, s);
+    // pending_ is unchanged: the insert and the release cancel out.
+    post = hand_off_locked(wake);
   }
-  const Ticket fresh = next_ticket_++;
-  q_.push_back(Entry{fresh, mode, false});
-  q_.erase(std::find_if(q_.begin(), q_.end(),
-                        [&](const Entry& e) { return e.ticket == t; }));
-  hand_off_locked(lock);
+  if (post) {
+    control_->post(this, control_shard_.load(std::memory_order_relaxed));
+  }
+  wake_parked(wake);
   return fresh;
 }
 
-std::size_t RequestQueue::pending() const {
-  std::unique_lock lock(mu_);
-  return q_.size();
+void RequestQueue::wake_parked(const std::vector<Slot*>& wake) {
+  for (Slot* s : wake) {
+    // Empty critical section: a parked owner holds park_mu from its state
+    // transition until it enters the condvar wait, so locking here ensures
+    // the notify cannot slip into that gap. A slot recycled in the
+    // meantime at worst receives a spurious (predicate-checked) wakeup.
+    { std::lock_guard guard(s->park_mu); }
+    s->park_cv.notify_all();
+  }
 }
 
 void RequestQueue::grant_from_control() {
-  std::unique_lock lock(mu_);
-  if (grant_head_locked()) cv_.notify_all();
+  std::vector<Slot*> wake;
+  {
+    std::lock_guard lock(mu_);
+    grant_some_locked(wake);
+  }
+  wake_parked(wake);
 }
 
 }  // namespace orwl::rt

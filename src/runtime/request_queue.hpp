@@ -13,13 +13,26 @@
 // release time, after which the new head group is granted — either inline
 // or, when a ControlPlane is attached, by a dedicated control thread
 // (reproducing ORWL's decentralized event-based hand-off).
+//
+// Implementation: an O(1) targeted-wakeup grant engine. Tickets are dense
+// uint64s starting at 1, so the live requests always occupy the window
+// [head_, tail_) and `ticket & mask` addresses a slot directly — no queue
+// scan anywhere. Each request lives in a reusable Slot whose atomic state
+// word packs (ticket << 2) | phase; grants are published by flipping that
+// word, which makes granted() and the already-granted acquire() fast path
+// lock-free. Blocked acquirers park on their own slot's mutex/condvar and
+// only the newly granted writer — or exactly the parked members of a newly
+// granted reader group — are woken (no broadcast). The slot window grows
+// by doubling; superseded windows are retired, never freed, so stale
+// lock-free lookups stay safe (the state-word ticket check rejects them).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "runtime/types.hpp"
 
@@ -29,7 +42,7 @@ class ControlPlane;
 
 class RequestQueue {
  public:
-  RequestQueue() = default;
+  RequestQueue();
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
@@ -57,11 +70,12 @@ class RequestQueue {
   /// request lands in the eligible head group.
   Ticket enqueue(AccessMode mode);
 
-  /// Block until the ticket is granted. Throws std::runtime_error on
-  /// timeout (likely protocol deadlock) or unknown ticket.
+  /// Block until the ticket is granted. Lock-free when the grant already
+  /// happened. Throws std::runtime_error on timeout (likely protocol
+  /// deadlock) or unknown ticket.
   void acquire(Ticket t);
 
-  /// True when the ticket is already granted (non-blocking).
+  /// True when the ticket is already granted (non-blocking, lock-free).
   bool granted(Ticket t) const;
 
   /// Remove a granted request and hand the resource to the next group.
@@ -71,39 +85,99 @@ class RequestQueue {
   /// Atomically enqueue a new request of the same mode and release the
   /// given one. Implements the iterative handle ("Before its termination,
   /// such a section introduces a new query in the FIFO that requests the
-  /// resource for the next iteration"). Returns the new ticket.
+  /// resource for the next iteration"). Returns the new ticket. Takes the
+  /// queue mutex exactly once.
   Ticket reinsert_and_release(Ticket t, AccessMode mode);
 
-  /// Number of requests currently queued (granted included).
-  std::size_t pending() const;
+  /// Number of requests currently queued (granted included). Lock-free.
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
-  /// Statistics: total grants performed (for tests and benches).
-  std::uint64_t total_grants() const noexcept { return grants_; }
+  /// Statistics: total grants performed (for tests and benches). Lock-free.
+  std::uint64_t total_grants() const noexcept {
+    return grants_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class ControlPlane;
 
-  struct Entry {
-    Ticket ticket;
-    AccessMode mode;
-    bool granted = false;
+  // Phase of a slot's state word: word == (ticket << kPhaseBits) | phase.
+  // A word of 0 marks a free slot (ticket 0 is never issued).
+  static constexpr std::uint64_t kWaiting = 0;  ///< queued, owner not parked
+  static constexpr std::uint64_t kParked = 1;   ///< owner blocked in acquire
+  static constexpr std::uint64_t kGranted = 2;  ///< lock held by owner
+  static constexpr unsigned kPhaseBits = 2;
+  static constexpr std::uint64_t kPhaseMask = (1u << kPhaseBits) - 1;
+
+  static constexpr std::uint64_t pack(Ticket t, std::uint64_t phase) {
+    return (t << kPhaseBits) | phase;
+  }
+
+  /// One request cell. Slots are arena-owned (stable addresses for the
+  /// lifetime of the queue) and recycled through a freelist at release.
+  struct Slot {
+    std::atomic<std::uint64_t> word{0};
+    AccessMode mode = AccessMode::Read;  ///< written under mu_ at enqueue
+    std::mutex park_mu;
+    std::condition_variable park_cv;
   };
 
-  /// Grant the eligible head group; returns true when anything new was
-  /// granted. Caller holds mu_.
-  bool grant_head_locked();
+  /// Ticket -> slot map for the live window: slot(t) = slots[t & mask].
+  /// Windows are published through window_ and retired (kept allocated)
+  /// when outgrown, so lock-free readers holding a stale window still
+  /// dereference valid memory; the state-word ticket check rejects any
+  /// aliased slot.
+  struct Window {
+    explicit Window(std::size_t capacity)
+        : mask(capacity - 1), slots(capacity) {}
+    const std::uint64_t mask;
+    std::vector<std::atomic<Slot*>> slots;
+  };
+
+  static constexpr std::size_t kInitialWindowCapacity = 16;
+
+  static constexpr std::size_t kSlotChunk = 8;  ///< slots per slab block
+
+  // ---- all helpers below require mu_ held -------------------------------
+
+  /// Appends the request and returns its ticket; the caller adjusts
+  /// pending_ (reinsert_and_release's +1/-1 pair cancels out).
+  Ticket enqueue_locked(AccessMode mode);
+  void grow_locked();
+  /// The slot of `t` when it is live and granted, else nullptr.
+  Slot* granted_slot_locked(Ticket t) const noexcept;
+  void release_locked(Ticket t, Slot* s);
+  /// Grant the eligible head group (Sec. III rule); parked slots needing a
+  /// wakeup are appended to `wake`. Returns true when anything was granted.
+  bool grant_some_locked(std::vector<Slot*>& wake);
+  void grant_one_locked(Ticket t, Slot* s, std::vector<Slot*>& wake);
+  /// After a release: true when a control-plane post must happen once the
+  /// queue mutex is dropped (the new head group is actually grantable);
+  /// grants inline when no control plane is attached.
+  bool hand_off_locked(std::vector<Slot*>& wake);
+
+  // ---- lock-free paths ---------------------------------------------------
+
+  void acquire_slow(Ticket t);
+  static void wake_parked(const std::vector<Slot*>& wake);
 
   /// Entry point used by control threads to perform the hand-off.
   void grant_from_control();
 
-  /// After a release: either post to the control plane or grant inline.
-  void hand_off_locked(std::unique_lock<std::mutex>& lock);
+  std::mutex mu_;
+  Ticket head_ = 1;          ///< oldest live ticket (== tail_ when empty)
+  Ticket tail_ = 1;          ///< next ticket to issue
+  Ticket grant_cursor_ = 1;  ///< one past the last granted ticket
+  Window* cur_ = nullptr;    ///< current window (same object window_ holds)
+  std::vector<std::unique_ptr<Window>> windows_;  ///< current + retired
+  std::vector<std::unique_ptr<Slot[]>> slab_;     ///< stable slot storage
+  std::vector<Slot*> free_slots_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Entry> q_;
-  Ticket next_ticket_ = 1;
-  std::uint64_t grants_ = 0;
+  std::atomic<const Window*> window_{nullptr};  ///< lock-free lookup handle
+  std::atomic<std::uint64_t> grants_{0};
+  std::atomic<std::size_t> pending_{0};
+
   std::uint64_t timeout_ms_ = 120000;
   ControlPlane* control_ = nullptr;
   std::atomic<std::uint32_t> control_shard_{0};
