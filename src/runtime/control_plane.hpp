@@ -20,6 +20,11 @@
 // post() never loses an event: when the plane is stopped, stopping, or
 // the target shard is saturated, the grant is performed inline by the
 // posting thread instead of being queued.
+//
+// The "data transfer" half of the quote is real too: the grant pass runs
+// the queue's GrantHook first, which is where a Location migrates its
+// buffer NUMA-locally before the grantee is woken (see
+// runtime/location.hpp and topo/membind.hpp).
 #pragma once
 
 #include <atomic>
@@ -77,16 +82,23 @@ class ControlPlane {
     return j % num_shards_;
   }
 
-  /// Post a grant hand-off event for the given queue to `shard`
-  /// (mod num_shards). Safe in every plane state: when the plane is not
-  /// running, is stopping, or the shard is saturated, the grant happens
-  /// inline on the calling thread — an event is never silently dropped.
+  /// Post a grant hand-off event for the given queue.
+  /// \param q     Queue whose head group needs granting; the serving
+  ///              control thread calls its grant path (including the
+  ///              grant hook for data transfer).
+  /// \param shard Target shard (taken mod num_shards) — normally the
+  ///              shard of the queue owner's placed PU.
+  ///
+  /// Safe in every plane state: when the plane is not running, is
+  /// stopping, or the shard is saturated, the grant happens inline on the
+  /// calling thread — an event is never silently dropped.
   void post(RequestQueue* q, std::size_t shard = 0);
 
   /// Bind control thread j to pus[j % pus.size()] (entries of -1 skip).
   /// With shard-aligned placements pus[j] is a PU inside shard
-  /// shard_of_thread(j)'s locality domain. Returns the number of threads
-  /// successfully bound.
+  /// shard_of_thread(j)'s locality domain.
+  /// \param pus PU os-indices per control thread; empty binds nothing.
+  /// \return Number of threads successfully bound.
   std::size_t bind_threads(const std::vector<int>& pus);
 
   /// Total events processed by control threads (tests, counter reports).

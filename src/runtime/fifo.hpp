@@ -22,12 +22,18 @@ namespace orwl::rt {
 class FifoProducer {
  public:
   /// Link (and scale, when the calling task owns the slots) the channel's
-  /// backing locations: slots [first_slot, first_slot + depth) of task
-  /// `owner`, each `bytes` large. Call during the init phase.
+  /// backing locations. Call during the init phase.
+  /// \param ctx        The linking task's context.
+  /// \param owner      Task whose locations back the channel.
+  /// \param first_slot First of the owner's location slots used.
+  /// \param depth      Ring depth: slots [first_slot, first_slot+depth);
+  ///                   the producer may run depth-1 items ahead.
+  /// \param bytes      Size of each slot's buffer.
   void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
             std::size_t depth, std::size_t bytes);
 
-  /// Acquire the next slot for writing; returns the buffer to fill.
+  /// Acquire the next slot for writing.
+  /// \return The slot's buffer to fill; publish with end_push().
   std::span<std::byte> begin_push();
 
   /// Publish the slot written since begin_push().
@@ -45,11 +51,13 @@ class FifoProducer {
 
 class FifoConsumer {
  public:
-  /// Link read handles on the channel's backing locations.
+  /// Link read handles on the channel's backing locations (must mirror
+  /// the producer's owner/first_slot/depth).
   void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
             std::size_t depth);
 
   /// Acquire the next item for reading.
+  /// \return The slot's contents; release with end_pop().
   std::span<const std::byte> begin_pop();
 
   /// Release the slot read since begin_pop().

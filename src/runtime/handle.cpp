@@ -8,6 +8,8 @@ void Handle::insert(TaskContext& ctx, Location& loc, AccessMode mode,
     throw std::logic_error("Handle: already linked to a location");
   }
   loc_ = &loc;
+  prog_ = &ctx.program();
+  task_ = ctx.id();
   mode_ = mode;
   ctx.program().register_insert(ctx.id(), loc, mode, priority, this);
 }
@@ -36,6 +38,14 @@ void Handle::acquire() {
 
 void Handle::release() {
   if (!acquired_) throw std::logic_error("Handle::release: not acquired");
+  // Adaptive data transfer watches where granted writers actually run:
+  // record our task's placed node before the hand-off fires, so the
+  // control thread's grant hook sees it when deciding whether to migrate
+  // the buffer (two lock-free stores; skipped under cheaper policies).
+  if (mode_ == AccessMode::Write && prog_ != nullptr &&
+      prog_->data_transfer() == DataTransferPolicy::Adaptive) {
+    loc_->note_writer_node(prog_->placed_node_of_task(task_));
+  }
   if (iterative_) {
     ticket_ = loc_->queue().reinsert_and_release(ticket_, mode_);
   } else {

@@ -25,18 +25,29 @@ class Handle {
   Handle& operator=(const Handle&) = delete;
 
   /// orwl_write_insert: link this handle to `loc` with exclusive access.
-  /// `priority` fixes the position in the location's initial FIFO
-  /// (ties broken by task id, then insertion order).
+  /// \param ctx      The inserting task's context.
+  /// \param loc      Location to link; must belong to ctx's program.
+  /// \param priority Position in the location's initial FIFO (ties broken
+  ///                 by task id, then insertion order). After schedule(),
+  ///                 inserts are live and enqueue at the tail instead.
+  /// \throws std::logic_error when the handle is already linked.
   void write_insert(TaskContext& ctx, Location& loc, std::uint64_t priority);
 
-  /// orwl_read_insert: link with shared access.
+  /// orwl_read_insert: link with shared access (same contract as
+  /// write_insert; readers at the FIFO head are granted as a group).
   void read_insert(TaskContext& ctx, Location& loc, std::uint64_t priority);
 
   /// Block until this handle's request is granted.
+  /// \throws std::logic_error on protocol misuse (not linked, no pending
+  ///         request, double acquire); std::runtime_error when the
+  ///         deadlock-guard timeout expires.
   void acquire();
 
   /// Release the grant. Iterative handles re-insert automatically; plain
-  /// handles become inert afterwards.
+  /// handles become inert afterwards. Under the adaptive data-transfer
+  /// policy a write release also records the releasing task's NUMA node
+  /// for the grant-time migration heuristic.
+  /// \throws std::logic_error when nothing is acquired.
   void release();
 
   bool linked() const noexcept { return loc_ != nullptr; }
@@ -72,6 +83,8 @@ class Handle {
               std::uint64_t priority);
 
   Location* loc_ = nullptr;
+  Program* prog_ = nullptr;  ///< set at insert; feeds data-transfer hints
+  TaskId task_ = 0;          ///< task that inserted this handle
   AccessMode mode_ = AccessMode::Read;
   Ticket ticket_ = 0;
   bool acquired_ = false;

@@ -1,0 +1,59 @@
+#include "runtime/location.hpp"
+
+namespace orwl::rt {
+
+const char* to_string(DataTransferPolicy p) noexcept {
+  switch (p) {
+    case DataTransferPolicy::Off: return "off";
+    case DataTransferPolicy::Owner: return "owner";
+    case DataTransferPolicy::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+void Location::bind_home(int node) {
+  const int old_home = home_node_.exchange(node, std::memory_order_acq_rel);
+  if (policy_ == DataTransferPolicy::Off || node < 0) return;
+  if (policy_ == DataTransferPolicy::Adaptive && old_home == node &&
+      buf_.node() >= 0) {
+    // Re-placement that did not move the owner: a buffer the adaptive
+    // policy already parked next to its writers must not bounce back to
+    // the home node just because affinity_compute() ran again.
+    return;
+  }
+  buf_.bind_to(node);
+  if (old_home != node) {
+    // The placement moved: writer nodes recorded under the old placement
+    // are stale, so the adaptive history restarts from scratch.
+    last_writer_node_.store(-1, std::memory_order_release);
+    prev_writer_node_.store(-1, std::memory_order_release);
+  }
+}
+
+void Location::before_grant() noexcept {
+  if (policy_ == DataTransferPolicy::Off) return;
+  int target = home_node_.load(std::memory_order_acquire);
+  if (policy_ == DataTransferPolicy::Adaptive) {
+    // Follow the writers: when the last two granted writers ran on the
+    // same node, the producer lives there — move the pages next to it
+    // before waking the next grantee. An inconsistent history (a one-off
+    // remote writer between settled phases) is noise: keep whatever
+    // binding is in place rather than bouncing the pages back to the
+    // home node and out again two grants later. Only a location that has
+    // never seen a writer falls back to the owner binding.
+    const int last = last_writer_node_.load(std::memory_order_acquire);
+    const int prev = prev_writer_node_.load(std::memory_order_acquire);
+    if (last >= 0 && last == prev) {
+      target = last;
+    } else if (last >= 0 || prev >= 0) {
+      return;  // writers seen but unsettled: leave the pages alone
+    }
+  }
+  if (target < 0 || buf_.node() == target) return;
+  if (buf_.size() == 0) return;  // hint-only/dry-run: no pages to move
+  if (buf_.bind_to(target)) {
+    transfers_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace orwl::rt

@@ -5,20 +5,46 @@
 // addresses), memory (a specific address), a computational unit (CPU or
 // accelerator) or an I/O device." (Sec. III)
 //
-// A location owns a byte buffer (sized by scale()) and the FIFO request
-// queue that serializes access to it.
+// A location owns a NUMA-aware byte buffer (sized by scale()) and the
+// FIFO request queue that serializes access to it. The buffer is a
+// topo::NumaBuffer: once the affinity module has placed the owner task,
+// the runtime binds the buffer to the owner's NUMA node, and — under the
+// ORWL_DATA_TRANSFER policy — the control thread serving the location's
+// shard migrates the pages at grant time when recent writers live
+// elsewhere ("control threads ... manage lock synchronization and data
+// transfer", Sec. IV-A).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <vector>
+#include <cstdint>
 
 #include "runtime/request_queue.hpp"
 #include "runtime/types.hpp"
+#include "topo/membind.hpp"
 
 namespace orwl::rt {
 
-class Location {
+/// Grant-time data-transfer policy of the runtime
+/// (ORWL_DATA_TRANSFER / ProgramOptions::data_transfer).
+enum class DataTransferPolicy : std::uint8_t {
+  Off,    ///< first-touch only: never bind or migrate location buffers
+  Owner,  ///< bind each buffer to its owner task's placed NUMA node
+  Adaptive,  ///< Owner, plus grant-time migration toward recent writers
+};
+
+/// Human-readable policy name ("off", "owner", "adaptive").
+const char* to_string(DataTransferPolicy p) noexcept;
+
+/// Environment override for the data-transfer policy; accepted values are
+/// "off", "owner" and "adaptive" (default: owner).
+inline constexpr const char* kDataTransferEnvVar = "ORWL_DATA_TRANSFER";
+
+class Location : private GrantHook {
  public:
+  /// \param id    Global location id (owner * locations_per_task + slot).
+  /// \param owner Task owning (and scaling) this location.
+  /// \param slot  Index of this location among its owner's locations.
   Location(LocationId id, TaskId owner, std::size_t slot)
       : id_(id), owner_(owner), slot_(slot) {}
   Location(const Location&) = delete;
@@ -30,9 +56,11 @@ class Location {
   std::size_t slot() const noexcept { return slot_; }
 
   /// "Scale our own location(s) to the appropriate size" (Listing 1).
-  /// (Re)allocates the backing buffer; contents are zero-initialized.
+  /// (Re)allocates the backing buffer on the location's bound NUMA node;
+  /// contents are zero-initialized.
+  /// \param bytes New size of the buffer.
   void scale(std::size_t bytes) {
-    buf_.assign(bytes, std::byte{0});
+    buf_.resize(bytes);
     size_ = bytes;
   }
 
@@ -40,13 +68,15 @@ class Location {
   /// extraction (the communication matrix needs only the size, and paper-
   /// scale problems would otherwise allocate gigabytes). Accessing data()
   /// after a hint-only scale yields nullptr.
+  /// \param bytes Size to record for the communication matrix.
   void scale_hint(std::size_t bytes) {
-    buf_.clear();
-    buf_.shrink_to_fit();
+    buf_.reset();
     size_ = bytes;
   }
 
+  /// Size recorded by the last scale()/scale_hint().
   std::size_t size() const noexcept { return size_; }
+  /// Buffer start; nullptr after scale_hint() or before any scale().
   std::byte* data() noexcept { return buf_.data(); }
   const std::byte* data() const noexcept { return buf_.data(); }
 
@@ -64,13 +94,75 @@ class Location {
   RequestQueue& queue() noexcept { return queue_; }
   const RequestQueue& queue() const noexcept { return queue_; }
 
+  // ---- NUMA-local location memory (Sec. IV-A data transfer) --------------
+
+  /// The NUMA-aware backing store (benches and tests inspect residency
+  /// through it; application code should stick to data()/as()).
+  topo::NumaBuffer& buffer() noexcept { return buf_; }
+  const topo::NumaBuffer& buffer() const noexcept { return buf_; }
+
+  /// Set the transfer policy. Not thread-safe; the Program configures it
+  /// before the location is used concurrently.
+  void set_data_transfer(DataTransferPolicy p) noexcept { policy_ = p; }
+  DataTransferPolicy data_transfer() const noexcept { return policy_; }
+
+  /// The hook the Program installs on this location's queue (grant-time
+  /// data transfer runs through it).
+  GrantHook* grant_hook() noexcept { return this; }
+
+  /// Declare `node` the home of this location (its owner task's placed
+  /// NUMA node) and migrate the buffer there. Called by the runtime at
+  /// placement time, on dynamic re-placement, and for live inserts.
+  /// Thread-safe. No-op under DataTransferPolicy::Off or for node < 0.
+  /// Under Adaptive, a re-bind to an *unchanged* home leaves a buffer
+  /// the writers already pulled elsewhere in place, and a re-bind to a
+  /// new home resets the (now stale) writer history.
+  /// \param node Topology NUMA-node index; -1 = unknown/unplaced.
+  void bind_home(int node);
+
+  /// Home node currently declared via bind_home(); -1 when unplaced.
+  int home_node() const noexcept {
+    return home_node_.load(std::memory_order_acquire);
+  }
+
+  /// Node the buffer is currently bound to; -1 when unbound.
+  int memory_node() const noexcept { return buf_.node(); }
+
+  /// Record the NUMA node a granted writer ran on (called by Handle at
+  /// write release; writers are exclusive, so calls are serialized by the
+  /// lock protocol itself). Feeds the adaptive policy. -1 entries
+  /// (unplaced writers) are kept but never chosen as a target.
+  /// \param node Topology NUMA-node index of the releasing writer.
+  void note_writer_node(int node) noexcept {
+    prev_writer_node_.store(
+        last_writer_node_.exchange(node, std::memory_order_acq_rel),
+        std::memory_order_release);
+  }
+
+  /// Grant-time migrations performed for this location (owner fix-ups and
+  /// adaptive follow-the-writer moves; the initial bind_home is counted
+  /// separately by the buffer's own migration counter).
+  std::uint64_t data_transfers() const noexcept {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// GrantHook: runs on the control thread serving this location's shard
+  /// (or on the posting thread for inline grants) before the next grant.
+  void before_grant() noexcept override;
+
   LocationId id_;
   TaskId owner_;
   std::size_t slot_;
   std::size_t size_ = 0;
-  std::vector<std::byte> buf_;
+  topo::NumaBuffer buf_;
   RequestQueue queue_;
+
+  DataTransferPolicy policy_ = DataTransferPolicy::Off;
+  std::atomic<int> home_node_{-1};
+  std::atomic<int> last_writer_node_{-1};
+  std::atomic<int> prev_writer_node_{-1};
+  std::atomic<std::uint64_t> transfers_{0};
 };
 
 }  // namespace orwl::rt

@@ -9,9 +9,29 @@
 #include "topo/binding.hpp"
 #include "topo/cpuset.hpp"
 #include "topo/detect.hpp"
+#include "topo/membind.hpp"
 #include "topo/shard.hpp"
 
 namespace orwl::rt {
+
+namespace {
+
+DataTransferPolicy resolve_data_transfer(DataTransferMode mode) {
+  switch (mode) {
+    case DataTransferMode::Off: return DataTransferPolicy::Off;
+    case DataTransferMode::Owner: return DataTransferPolicy::Owner;
+    case DataTransferMode::Adaptive: return DataTransferPolicy::Adaptive;
+    case DataTransferMode::FromEnv: break;
+  }
+  const auto v = support::env_string(kDataTransferEnvVar);
+  if (v.has_value()) {
+    if (support::iequals(*v, "off")) return DataTransferPolicy::Off;
+    if (support::iequals(*v, "adaptive")) return DataTransferPolicy::Adaptive;
+  }
+  return DataTransferPolicy::Owner;
+}
+
+}  // namespace
 
 Program::Program(std::size_t num_tasks, ProgramOptions opts)
     : num_tasks_(num_tasks), opts_(opts) {
@@ -55,6 +75,12 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   shard_map_ = topo::make_shard_map(*topology_, control_->num_shards());
   stats_.control_shards = control_->num_shards();
 
+  data_policy_ = resolve_data_transfer(opts_.data_transfer);
+  task_node_ = std::make_unique<std::atomic<int>[]>(num_tasks_);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    task_node_[t].store(-1, std::memory_order_relaxed);
+  }
+
   locations_.reserve(num_tasks_ * opts_.locations_per_task);
   for (TaskId t = 0; t < num_tasks_; ++t) {
     for (std::size_t s = 0; s < opts_.locations_per_task; ++s) {
@@ -67,6 +93,13 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
       // the topology-aware routing once a placement exists.
       locations_.back()->queue().set_control_shard(
           t % control_->num_shards());
+      locations_.back()->set_data_transfer(data_policy_);
+      if (data_policy_ != DataTransferPolicy::Off) {
+        // Grant-time data transfer: the control thread serving this
+        // location's shard migrates the buffer before waking a grantee.
+        locations_.back()->queue().set_grant_hook(
+            locations_.back()->grant_hook());
+      }
     }
   }
 
@@ -258,9 +291,34 @@ void Program::route_queues_locked() {
 }
 
 void Program::route_queue(Location& loc) {
-  if (control_->num_shards() <= 1) return;
   std::lock_guard lock(place_mu_);
-  loc.queue().set_control_shard(shard_for_owner_locked(loc.owner()));
+  if (control_->num_shards() > 1) {
+    loc.queue().set_control_shard(shard_for_owner_locked(loc.owner()));
+  }
+  // Memory follows the same rule as the events: the buffer lives on the
+  // owner's placed node (no-op while unplaced or with transfers off).
+  loc.bind_home(placed_node_of_task(loc.owner()));
+}
+
+void Program::update_task_nodes_locked() {
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    int node = -1;
+    if (t < placement_.compute_pu.size()) {
+      node = topo::numa_node_of_pu(*topology_, placement_.compute_pu[t]);
+    }
+    task_node_[t].store(node, std::memory_order_release);
+  }
+}
+
+void Program::bind_location_memory_locked() {
+  if (data_policy_ == DataTransferPolicy::Off) return;
+  std::size_t bound = 0;
+  for (auto& loc : locations_) {
+    const int node = task_node_[loc->owner()].load(std::memory_order_relaxed);
+    loc->bind_home(node);
+    if (node >= 0) ++bound;
+  }
+  stats_.locations_bound = bound;
 }
 
 void Program::affinity_compute() {
@@ -297,6 +355,10 @@ void Program::affinity_compute() {
   }
   have_placement_ = true;
   route_queues_locked();
+  // The memory half of the placement: every location buffer moves to its
+  // owner's NUMA node (re-run here on every dynamic re-placement too).
+  update_task_nodes_locked();
+  bind_location_memory_locked();
 }
 
 void Program::affinity_set() {
@@ -388,6 +450,9 @@ void Program::run() {
   control_->stop();
   stats_.control_events = control_->events_processed();
   stats_.control_inline_grants = control_->inline_grants();
+  std::uint64_t transfers = 0;
+  for (const auto& loc : locations_) transfers += loc->data_transfers();
+  stats_.data_transfers = transfers;
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -16,6 +16,7 @@
 // "only change the internal state of the ORWL runtime".
 #pragma once
 
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -44,6 +45,15 @@ enum class AffinityMode {
   FromEnv,  ///< follow ORWL_AFFINITY (the paper's automatic mode)
 };
 
+/// How ProgramOptions selects the grant-time data-transfer policy
+/// (the runtime-internal policy itself is rt::DataTransferPolicy).
+enum class DataTransferMode {
+  Off,       ///< never bind or migrate location buffers
+  Owner,     ///< bind buffers to the owner task's placed NUMA node
+  Adaptive,  ///< Owner + grant-time migration toward recent writers
+  FromEnv,   ///< follow ORWL_DATA_TRANSFER (default: owner)
+};
+
 struct ProgramOptions {
   std::size_t locations_per_task = 1;
 
@@ -60,6 +70,11 @@ struct ProgramOptions {
   std::size_t control_shards = kAutoControlShards;
 
   AffinityMode affinity = AffinityMode::FromEnv;
+
+  /// Location-memory management: which NUMA node location buffers live on
+  /// and whether control threads migrate them at grant time (the "data
+  /// transfer" half of Sec. IV-A). Overridable with ORWL_DATA_TRANSFER.
+  DataTransferMode data_transfer = DataTransferMode::FromEnv;
 
   /// Topology to place on. Null => detect the host machine. The pointed-to
   /// topology must outlive the Program.
@@ -83,6 +98,11 @@ struct ProgramStats {
   std::uint64_t control_events = 0;   ///< lock hand-offs done by controls
   std::uint64_t control_inline_grants = 0;  ///< hand-offs granted inline
   std::size_t control_shards = 0;     ///< event shards of the control plane
+  /// Grant-time page migrations performed for location buffers (owner
+  /// fix-ups + adaptive follow-the-writer moves), summed over locations.
+  std::uint64_t data_transfers = 0;
+  /// Location buffers bound to their owner's NUMA node at placement time.
+  std::size_t locations_bound = 0;
   std::size_t compute_threads_bound = 0;
   std::size_t control_threads_bound = 0;
   std::size_t bind_failures = 0;
@@ -124,6 +144,19 @@ class Program {
   Location& location(TaskId task, std::size_t slot = 0);
   const topo::Topology& topology() const noexcept { return *topology_; }
   bool affinity_enabled() const noexcept { return affinity_enabled_; }
+
+  /// The resolved data-transfer policy (options/env, fixed at
+  /// construction).
+  DataTransferPolicy data_transfer() const noexcept { return data_policy_; }
+
+  /// NUMA node (in this program's topology) of the task's placed PU.
+  /// \param t Task id.
+  /// \return The node's logical index, or -1 while the task is unplaced
+  ///         or the topology has no NUMA level.
+  int placed_node_of_task(TaskId t) const noexcept {
+    return t < num_tasks_ ? task_node_[t].load(std::memory_order_acquire)
+                          : -1;
+  }
   bool dry_run() const noexcept { return opts_.dry_run; }
   bool scheduled() const noexcept { return scheduled_; }
 
@@ -192,17 +225,32 @@ class Program {
   /// Caller holds place_mu_.
   void route_queues_locked();
 
-  /// Route one location under the current placement. Used for live
-  /// inserts (dynamic mode), so a location first touched after schedule()
-  /// reaches its owner's shard immediately instead of keeping the
-  /// owner-round-robin default until the next affinity_compute().
+  /// Route one location under the current placement and bind its buffer
+  /// to the owner's placed node. Used for live inserts (dynamic mode), so
+  /// a location first touched after schedule() reaches its owner's shard
+  /// and memory immediately instead of keeping the constructor defaults
+  /// until the next affinity_compute().
   void route_queue(Location& loc);
+
+  /// Refresh task_node_ (NUMA node per task) from the current placement.
+  /// Caller holds place_mu_.
+  void update_task_nodes_locked();
+
+  /// Bind every location buffer to its owner's placed NUMA node (the
+  /// memory side of affinity_compute; re-run on dynamic re-placement).
+  /// Caller holds place_mu_.
+  void bind_location_memory_locked();
 
   const std::size_t num_tasks_;
   ProgramOptions opts_;
   topo::Topology owned_topology_;        // when detected
   const topo::Topology* topology_;       // never null after ctor
   bool affinity_enabled_;
+  DataTransferPolicy data_policy_ = DataTransferPolicy::Off;
+
+  /// NUMA node of each task's placed PU (-1 unplaced); written under
+  /// place_mu_, read lock-free by the write-release fast path.
+  std::unique_ptr<std::atomic<int>[]> task_node_;
 
   std::vector<std::unique_ptr<Location>> locations_;
   std::unique_ptr<ControlPlane> control_;

@@ -40,6 +40,26 @@ namespace orwl::rt {
 
 class ControlPlane;
 
+/// Callback invoked on the grant hand-off path, right before the new head
+/// group of a queue is granted and its waiters are woken.
+///
+/// This is the runtime's hook for the second half of the paper's control
+/// threads — "manage lock synchronization *and data transfer*"
+/// (Sec. IV-A): a Location installs itself here so that the control
+/// thread serving the queue's shard can migrate the location's pages
+/// NUMA-locally before thawing the grantee. The hook runs outside the
+/// queue mutex, on whichever thread performs the hand-off (a control
+/// thread, or the posting thread for inline grants), and must be
+/// non-blocking-ish and noexcept: a slow hook delays exactly the waiters
+/// it is trying to get good memory for.
+class GrantHook {
+ public:
+  virtual ~GrantHook() = default;
+
+  /// Called once per hand-off grant pass of the attached queue.
+  virtual void before_grant() noexcept = 0;
+};
+
 class RequestQueue {
  public:
   RequestQueue();
@@ -65,6 +85,14 @@ class RequestQueue {
   /// Milliseconds after which acquire() throws (deadlock guard).
   /// 0 disables the guard. Not thread-safe; set before concurrent use.
   void set_acquire_timeout(std::uint64_t ms) noexcept { timeout_ms_ = ms; }
+
+  /// Install the hook run before each hand-off grant (grant-time data
+  /// transfer). May be null (no hook). Not thread-safe; set before
+  /// concurrent use. The hook fires on the control-plane hand-off path
+  /// only — enqueue-time grants (a request landing in an already-eligible
+  /// head group) are the requester's own first access and need no
+  /// transfer.
+  void set_grant_hook(GrantHook* hook) noexcept { hook_ = hook; }
 
   /// Append a request; returns its ticket. Grants immediately when the
   /// request lands in the eligible head group.
@@ -179,6 +207,7 @@ class RequestQueue {
   std::atomic<std::size_t> pending_{0};
 
   std::uint64_t timeout_ms_ = 120000;
+  GrantHook* hook_ = nullptr;
   ControlPlane* control_ = nullptr;
   std::atomic<std::uint32_t> control_shard_{0};
 };

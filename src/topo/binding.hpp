@@ -13,21 +13,30 @@
 namespace orwl::topo {
 
 /// Bind the calling thread to the given cpuset.
-/// Returns true on success; false (with errno intact) when the OS rejects
-/// the mask (e.g. cpus outside the machine). Empty sets are rejected.
+/// \param set Target affinity mask (OS cpu indices); must be non-empty.
+/// \return true on success; false (with errno intact) when the OS
+///         rejects the mask (e.g. cpus outside the machine) or the set
+///         is empty. Binding is advisory everywhere in this codebase:
+///         callers must tolerate false.
 bool bind_current_thread(const CpuSet& set) noexcept;
 
 /// Bind another thread by native handle.
+/// \param handle pthread handle of the target thread (must be live).
+/// \param set    Target affinity mask; same contract as
+///               bind_current_thread().
+/// \return true when the mask was applied.
 bool bind_thread(std::thread::native_handle_type handle,
                  const CpuSet& set) noexcept;
 
 /// Current affinity mask of the calling thread.
+/// \return The mask, or an empty set when the platform cannot tell.
 CpuSet current_thread_binding();
 
 /// CPU the calling thread is executing on right now (sched_getcpu).
+/// \return The OS cpu index, or -1 on platforms without the query.
 int current_cpu() noexcept;
 
-/// Number of online CPUs of the host.
+/// Number of online CPUs of the host (always >= 1).
 int host_cpu_count() noexcept;
 
 }  // namespace orwl::topo

@@ -20,10 +20,14 @@ inline constexpr const char* kTopologyEnvVar = "ORWL_TOPOLOGY";
 /// Detect the host machine. Honors ORWL_TOPOLOGY as a fixture override;
 /// never throws: on any inconsistency (including non-Linux hosts with no
 /// sysfs) it falls back to a flat fixture over the online CPUs.
+/// \return A fully finalized topology; never empty.
 Topology detect_host();
 
 /// Detection with an explicit sysfs root (for tests against a fake tree).
-/// Falls back to make_flat(fallback_cpus) when the tree is unreadable.
+/// \param sysfs_root    Directory standing in for /sys/devices/system.
+/// \param fallback_cpus PU count of the flat fixture used when the tree
+///                      is unreadable or inconsistent.
+/// \return The detected (or fallback) topology; never empty.
 Topology detect_from_sysfs(const std::string& sysfs_root, int fallback_cpus);
 
 }  // namespace orwl::topo

@@ -26,8 +26,10 @@ struct ShardMap {
   /// indices that do not name a PU of the mapped machine.
   std::vector<int> shard_of_pu_os;
 
-  /// Shard of the PU with the given os index; -1 when the os index is
-  /// unknown (callers fall back to a round-robin shard).
+  /// Shard of the PU with the given os index.
+  /// \param pu_os_index OS index of a PU (binding numbering).
+  /// \return The shard index, or -1 when the os index is unknown
+  ///         (callers fall back to a round-robin shard).
   int shard_of(int pu_os_index) const noexcept;
 };
 
@@ -35,14 +37,19 @@ struct ShardMap {
 /// back to packages and then groups for machines without a NUMA level.
 /// Machines with no locality domain at all (flat fixtures, single-socket
 /// hosts) get 1 — sharding buys nothing without distinct domains.
+/// \param t The machine; an empty topology yields 1.
+/// \return The recommended control-plane shard count (>= 1).
 std::size_t recommended_shard_count(const Topology& t) noexcept;
 
 /// Partition the PUs of `t` into `num_shards` shards. The partition is
 /// computed on the shallowest topology level with at least `num_shards`
 /// objects, assigning object i of that level to shard i*S/count, so each
 /// shard is a union of whole subtrees (e.g. 20 NUMA nodes over 4 shards
-/// => 5 consecutive nodes per shard). `num_shards` is clamped to
-/// [1, num_pus]; an empty topology yields a single-shard map.
+/// => 5 consecutive nodes per shard).
+/// \param t          The machine; an empty topology yields a
+///                   single-shard map.
+/// \param num_shards Desired shard count; clamped to [1, num_pus].
+/// \return The PU-to-shard partition.
 ShardMap make_shard_map(const Topology& t, std::size_t num_shards);
 
 }  // namespace orwl::topo

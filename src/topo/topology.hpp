@@ -38,15 +38,21 @@ class Topology {
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
-  /// Build a symmetric topology. `levels` describes the levels *below* the
-  /// machine root, outermost first; the last entry must be PU. Throws
-  /// std::invalid_argument on ill-formed specs (non-positive arities,
-  /// out-of-order types, missing PU level).
+  /// Build a symmetric topology.
+  /// \param levels Levels *below* the machine root, outermost first; the
+  ///               last entry must be PU.
+  /// \param name   Display name used by summary()/render().
+  /// \return The finalized tree.
+  /// \throws std::invalid_argument on ill-formed specs (non-positive
+  ///         arities, out-of-order types, missing PU level).
   static Topology build(const std::vector<LevelSpec>& levels,
                         std::string name = "synthetic");
 
   /// Take ownership of a hand-built tree (used by the sysfs detector).
   /// Runs the same finalization/validation as build().
+  /// \param root The tree root; must describe a well-formed machine.
+  /// \param name Display name.
+  /// \throws std::invalid_argument when validation fails.
   static Topology adopt(std::unique_ptr<Object> root, std::string name);
 
   /// Deep copy (explicit, since the class is move-only by default).
@@ -90,17 +96,22 @@ class Topology {
   /// PU object by logical index (0-based, left-to-right).
   const Object* pu_at(int logical) const;
 
-  /// Deepest object containing both `a` and `b`.
+  /// Deepest object containing both `a` and `b` (both must belong to
+  /// this topology).
   const Object* common_ancestor(const Object& a, const Object& b) const;
 
-  /// Depth of the deepest common ancestor of two PUs (logical indices).
-  /// Equal PUs share at PU depth itself.
+  /// Depth of the deepest common ancestor of two PUs.
+  /// \param pu_a,pu_b Logical PU indices (left-to-right order).
+  /// \return The sharing depth; equal PUs share at PU depth itself.
   int sharing_depth(int pu_a, int pu_b) const;
 
   /// Hop distance between two PUs: 2 * (pu_depth - sharing_depth).
+  /// \param pu_a,pu_b Logical PU indices.
   int distance(int pu_a, int pu_b) const;
 
-  /// Cache size (bytes) of the given cache level; 0 when absent.
+  /// Cache size of the given cache level.
+  /// \param level One of L1/L2/L3.
+  /// \return Size in bytes; 0 when the level is absent.
   std::size_t cache_size(ObjType level) const;
 
   const std::string& name() const noexcept { return name_; }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON files and fail on a large regression.
+
+Usage:
+  bench_compare.py --baseline BENCH_micro_orwl_lock.json \
+                   --current  BENCH_micro_orwl_lock.ci.json \
+                   [--threshold 2.0] [--reference BM_WriteCycleUncontended]
+
+The two files usually come from different machines (the committed
+baseline is a dev-box snapshot, the current file a CI runner), so raw
+times are not comparable. Instead every benchmark's items_per_second is
+normalized by the same file's *reference* benchmark (default: the
+uncontended write cycle), which cancels the machine's single-thread
+speed. A benchmark regresses when its normalized throughput drops by
+more than `threshold` x relative to the baseline — the shape of the
+hand-off path got worse, not the machine slower.
+
+Exit codes: 0 ok (or comparison impossible -> warn only), 1 regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> {"ips": items_per_second | None, "rt": real_time | None}."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if not name:
+            continue
+        ips = b.get("items_per_second")
+        rt = b.get("real_time")
+        out[name] = {"ips": float(ips) if ips else None,
+                     "rt": float(rt) if rt else None}
+    return out
+
+
+def throughput(base_entry, cur_entry):
+    """Unit-consistent (baseline, current) throughput pair, or None.
+
+    items_per_second is used only when BOTH files report it for the
+    benchmark, 1/real_time only when both report real_time — mixing the
+    two across files would compare different units and make the factor
+    meaningless.
+    """
+    if base_entry["ips"] and cur_entry["ips"]:
+        return base_entry["ips"], cur_entry["ips"]
+    if base_entry["rt"] and cur_entry["rt"]:
+        return 1.0 / base_entry["rt"], 1.0 / cur_entry["rt"]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed snapshot")
+    ap.add_argument("--current", required=True, help="fresh bench JSON")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail when normalized throughput drops by more "
+                         "than this factor (default 2.0)")
+    ap.add_argument("--reference", default="BM_WriteCycleUncontended",
+                    help="in-file benchmark used to normalize out the "
+                         "machine's single-thread speed")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    if base is None:
+        print("bench_compare: no baseline snapshot; nothing to compare.")
+        return 0
+    if cur is None:
+        print("bench_compare: current results unreadable; failing.",
+              file=sys.stderr)
+        return 1
+
+    ref = (base.get(args.reference) and cur.get(args.reference) and
+           throughput(base[args.reference], cur[args.reference]))
+    if not ref:
+        print(f"bench_compare: reference '{args.reference}' missing (or "
+              "unit-inconsistent) in one of the files; cannot normalize, "
+              "skipping the gate.")
+        return 0
+    ref_base, ref_cur = ref
+
+    common = sorted(set(base) & set(cur) - {args.reference})
+    if not common:
+        print("bench_compare: no common benchmarks; skipping the gate.")
+        return 0
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  baseline(rel)  current(rel)   factor")
+    for name in common:
+        pair = throughput(base[name], cur[name])
+        if pair is None:
+            print(f"{name:<{width}}  (skipped: no unit-consistent metric)")
+            continue
+        rel_base = pair[0] / ref_base
+        rel_cur = pair[1] / ref_cur
+        factor = rel_base / rel_cur if rel_cur else float("inf")
+        marker = "  <-- REGRESSION" if factor > args.threshold else ""
+        print(f"{name:<{width}}  {rel_base:12.4f}  {rel_cur:12.4f}  "
+              f"{factor:7.2f}{marker}")
+        if factor > args.threshold:
+            regressions.append((name, factor))
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} benchmark(s) lost more "
+              f"than {args.threshold}x normalized throughput vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for name, factor in regressions:
+            print(f"  {name}: {factor:.2f}x slower (normalized)",
+                  file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({len(common)} benchmarks within "
+          f"{args.threshold}x of the snapshot).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
