@@ -14,9 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "runtime/control_plane.hpp"
-#include "runtime/request_queue.hpp"
-#include "topo/machines.hpp"
+#include "orwl/orwl.hpp"
 #include "topo/shard.hpp"
 
 namespace {

@@ -12,8 +12,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "runtime/control_plane.hpp"
-#include "runtime/request_queue.hpp"
+#include "orwl/orwl.hpp"
 
 namespace {
 

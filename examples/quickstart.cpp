@@ -1,70 +1,61 @@
-// Quickstart: the paper's Listing 1 — a pipeline of tasks.
+// Quickstart: the paper's Listing 1 — a pipeline of tasks — on the v2
+// declarative API.
 //
-// Each task owns one location ("here"); task k > 0 additionally reads its
-// predecessor's location ("there") and averages the two values. Run with
+// Each task owns one double-typed location; task k > 0 additionally
+// reads its predecessor's location and averages the two values. The
+// whole task-location graph is *declared* before anything runs, so the
+// communication matrix and the placement are available up front — no
+// dry-run pass, no thread spawned. Run with
 //
 //   ORWL_AFFINITY=1 ./quickstart
 //
-// to let the affinity module place the chain automatically (the program
-// prints the extracted communication matrix and the computed placement).
+// to let the affinity module place the chain automatically.
 #include <cstdio>
 
-#include "affinity/report.hpp"
-#include "runtime/handle.hpp"
-#include "runtime/program.hpp"
+#include "orwl/orwl.hpp"
 
 int main() {
   using namespace orwl;
   constexpr std::size_t kTasks = 8;
 
-  // orwl_init: create the program with one location per task.
-  rt::Program program(kTasks);
+  // Declare the graph: who owns what, who reads/writes whom. This is
+  // the init phase of Listing 1, stated instead of executed.
+  ProgramBuilder builder(kTasks);
+  for (TaskId t = 0; t < kTasks; ++t) {
+    TaskSpec& spec = builder.task(t);
+    spec.owns<double>();                          // orwl_scale, typed
+    spec.writes<double>(loc(t), t);               // my own location
+    if (t > 0) spec.reads<double>(loc(t - 1), t);  // my predecessor's
+  }
 
-  program.set_task_body([](rt::TaskContext& ctx) {
-    const rt::TaskId me = ctx.id();  // orwl_mytid
+  // The compute phase: bodies start after the schedule barrier with
+  // their declared links ready. Guards are phase-safe — a WriteGuard on
+  // a read link would not compile.
+  builder.body([](Task& task) {
+    const TaskId me = task.id();
 
-    // Scale our own location(s) to the appropriate size.
-    ctx.scale(sizeof(double));
-
-    // Create handles for the locations that we are interested in. We
-    // will create a chain of dependencies from task 0 to task 1 etc.
-    rt::Handle here;
-    rt::Handle there;
-
-    // Have our own location writable.
-    here.write_insert(ctx, ctx.my_location(), me);
-
-    // Link the "there" handle where appropriate.
-    if (me > 0) {
-      there.read_insert(ctx, ctx.location(me - 1), me);
-    }
-
-    // Now synchronize and coordinate requests of all tasks. When
-    // ORWL_AFFINITY=1 this is also where the affinity module computes
-    // and applies the thread placement.
-    ctx.schedule();
-
-    // All tasks create a critical section that guarantees exclusive
-    // access to their location.
-    rt::Section section(here);
-    double* wval = section.as<double>();
-    *wval = static_cast<double>(me + 1);  // init_val(orwl_mytid)
+    // Exclusive access to my own location: typed, no casts.
+    WriteGuard<double> w(task.write_link<double>(loc(me)));
+    w.ref() = static_cast<double>(me + 1);  // init_val(orwl_mytid)
 
     // All ids > 0 read from their predecessor.
     if (me > 0) {
-      rt::Section section2(there);  // blocks until the data is available
-      const double* rval = section2.as_const<double>();
-      *wval = (*rval + *wval) * 0.5;  // some dummy computation
+      ReadGuard<double> r(task.read_link<double>(loc(me - 1)));
+      w.ref() = (r.ref() + w.ref()) * 0.5;  // some dummy computation
     }
-    std::printf("task %zu: value = %.6f\n", me, *wval);
+    std::printf("task %zu: value = %.6f\n", me, w.ref());
   });
 
-  program.run();
+  Program program = builder.build();
 
-  // Inspect what the runtime knew at schedule() time.
+  // The declared graph is live before run(): extract the matrix and the
+  // placement the affinity module would use — nothing has executed yet.
   program.dependency_get();
-  std::puts("\ncommunication matrix extracted from the task graph:");
+  std::puts("communication matrix extracted from the declared graph"
+            " (pre-run, no dry-run pass):");
   std::printf("%s", aff::render_comm_matrix(program.comm_matrix()).c_str());
+
+  program.run();
 
   if (program.stats().affinity_applied) {
     std::puts("\naffinity module was ON; placement used:");

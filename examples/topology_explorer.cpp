@@ -10,11 +10,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "support/env.hpp"
-#include "topo/detect.hpp"
-#include "topo/machines.hpp"
-#include "topo/serialize.hpp"
-#include "treematch/strategies.hpp"
+#include "orwl/orwl.hpp"
 
 int main(int argc, char** argv) {
   using namespace orwl;

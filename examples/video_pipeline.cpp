@@ -9,7 +9,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "affinity/report.hpp"
 #include "apps/video.hpp"
 
 int main(int argc, char** argv) {

@@ -2,17 +2,13 @@
 
 #include <stdexcept>
 
-#include "runtime/handle.hpp"
-#include "runtime/split.hpp"
 #include "support/rng.hpp"
 
 namespace orwl::apps {
 
 namespace {
 
-using rt::Handle2;
-using rt::Section;
-using rt::split_range;
+using orwl::split_range;
 
 constexpr double kRelax = 0.175;
 
@@ -126,138 +122,138 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
   if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
     throw std::invalid_argument("lk23_orwl: bad block grid");
   }
-  prog_opts.locations_per_task = 4;
-  rt::Program prog(by * bx, prog_opts);
+  ProgramBuilder builder(by * bx, prog_opts);
 
-  prog.set_task_body([&, by, bx, iters](rt::TaskContext& ctx) {
-    const std::size_t bi = ctx.id() / bx;
-    const std::size_t bj = ctx.id() % bx;
+  for (rt::TaskId id = 0; id < by * bx; ++id) {
+    const std::size_t bi = id / bx;
+    const std::size_t bj = id % bx;
     const BlockGeom g = block_geom(p.n, by, bx, bi, bj);
-    const std::size_t n = p.n;
+    const bool has_north = bi > 0;
+    const bool has_south = bi + 1 < by;
+    const bool has_west = bj > 0;
+    const bool has_east = bj + 1 < bx;
 
-    // Scale own halo locations and prime the lagged ones with the
-    // initial border values.
-    ctx.scale(g.w() * sizeof(double), kLocN);
-    ctx.scale(g.w() * sizeof(double), kLocS);
-    ctx.scale(g.h() * sizeof(double), kLocW);
-    ctx.scale(g.h() * sizeof(double), kLocE);
-    {
-      double* init_n = ctx.my_location(kLocN).as<double>();
-      double* init_w = ctx.my_location(kLocW).as<double>();
+    TaskSpec& spec = builder.task(id);
+    // Own halo locations. Same-iteration halos order the writer first
+    // (w:0, r:1); lagged ones order the reader first (r:0, w:1) and
+    // carry the initial border value (primed in the init hook below).
+    spec.owns<double[]>(g.w(), kLocN).writes<double[]>(loc(id, kLocN), 1);
+    spec.owns<double[]>(g.w(), kLocS).writes<double[]>(loc(id, kLocS), 0);
+    spec.owns<double[]>(g.h(), kLocW).writes<double[]>(loc(id, kLocW), 1);
+    spec.owns<double[]>(g.h(), kLocE).writes<double[]>(loc(id, kLocE), 0);
+    // Incoming halos (absent on the grid boundary).
+    if (has_north) {  // north's bottom row, same iteration
+      spec.reads<double[]>(loc(id - bx, kLocS), 1);
+    }
+    if (has_south) {  // south's top row, one-iteration lag
+      spec.reads<double[]>(loc(id + bx, kLocN), 0);
+    }
+    if (has_west) {  // west's right col, same iteration
+      spec.reads<double[]>(loc(id - 1, kLocE), 1);
+    }
+    if (has_east) {  // east's left col, one-iteration lag
+      spec.reads<double[]>(loc(id + 1, kLocW), 0);
+    }
+    spec.iterates(iters);
+
+    // Prime the lagged halos with the initial border values (runs on the
+    // task's thread before the schedule barrier, like the v1 init phase).
+    spec.init([&p, g](Task& task) {
+      const std::size_t n = p.n;
+      std::span<double> init_n = task.my<double[]>(kLocN).span();
+      std::span<double> init_w = task.my<double[]>(kLocW).span();
       for (std::size_t k = 0; k < g.w(); ++k) {
         init_n[k] = p.za[g.r0 * n + g.c0 + k];
       }
       for (std::size_t j = 0; j < g.h(); ++j) {
         init_w[j] = p.za[(g.r0 + j) * n + g.c0];
       }
-    }
+    });
 
-    // Own write handles.
-    Handle2 w_n, w_s, w_w, w_e;
-    w_n.write_insert(ctx, ctx.my_location(kLocN), 1);  // lagged: reader first
-    w_s.write_insert(ctx, ctx.my_location(kLocS), 0);  // same-iter
-    w_w.write_insert(ctx, ctx.my_location(kLocW), 1);  // lagged
-    w_e.write_insert(ctx, ctx.my_location(kLocE), 0);  // same-iter
+    spec.body([&p, g, id, bx, has_north, has_south, has_west,
+               has_east](Task& task) {
+      const std::size_t n = p.n;
+      WriteLink<double[]> w_n = task.write_link<double[]>(loc(id, kLocN));
+      WriteLink<double[]> w_s = task.write_link<double[]>(loc(id, kLocS));
+      WriteLink<double[]> w_w = task.write_link<double[]>(loc(id, kLocW));
+      WriteLink<double[]> w_e = task.write_link<double[]>(loc(id, kLocE));
+      ReadLink<double[]> r_n, r_s, r_w, r_e;
+      if (has_north) r_n = task.read_link<double[]>(loc(id - bx, kLocS));
+      if (has_south) r_s = task.read_link<double[]>(loc(id + bx, kLocN));
+      if (has_west) r_w = task.read_link<double[]>(loc(id - 1, kLocE));
+      if (has_east) r_e = task.read_link<double[]>(loc(id + 1, kLocW));
 
-    // Incoming halo handles (absent on grid boundary).
-    const bool has_north = bi > 0;
-    const bool has_south = bi + 1 < by;
-    const bool has_west = bj > 0;
-    const bool has_east = bj + 1 < bx;
-    Handle2 r_n, r_s, r_w, r_e;
-    if (has_north) {  // north's bottom row, same iteration
-      r_n.read_insert(ctx, ctx.location(ctx.id() - bx, kLocS), 1);
-    }
-    if (has_south) {  // south's top row, one-iteration lag
-      r_s.read_insert(ctx, ctx.location(ctx.id() + bx, kLocN), 0);
-    }
-    if (has_west) {  // west's right col, same iteration
-      r_w.read_insert(ctx, ctx.location(ctx.id() - 1, kLocE), 1);
-    }
-    if (has_east) {  // east's left col, one-iteration lag
-      r_e.read_insert(ctx, ctx.location(ctx.id() + 1, kLocW), 0);
-    }
+      std::vector<double> halo_n(g.w()), halo_s(g.w());
+      std::vector<double> halo_w(g.h()), halo_e(g.h());
 
-    ctx.schedule();
-    if (ctx.dry_run()) return;
+      task.run_iterations([&](std::size_t) {
+        // -- gather phase ------------------------------------------------
+        if (has_north) {
+          ReadGuard<double[]> sec(r_n);
+          std::copy(sec.begin(), sec.end(), halo_n.begin());
+        } else {
+          for (std::size_t k = 0; k < g.w(); ++k) {
+            halo_n[k] = p.za[(g.r0 - 1) * n + g.c0 + k];
+          }
+        }
+        if (has_west) {
+          ReadGuard<double[]> sec(r_w);
+          std::copy(sec.begin(), sec.end(), halo_w.begin());
+        } else {
+          for (std::size_t j = 0; j < g.h(); ++j) {
+            halo_w[j] = p.za[(g.r0 + j) * n + g.c0 - 1];
+          }
+        }
+        if (has_south) {
+          ReadGuard<double[]> sec(r_s);
+          std::copy(sec.begin(), sec.end(), halo_s.begin());
+        } else {
+          for (std::size_t k = 0; k < g.w(); ++k) {
+            halo_s[k] = p.za[g.r1 * n + g.c0 + k];
+          }
+        }
+        if (has_east) {
+          ReadGuard<double[]> sec(r_e);
+          std::copy(sec.begin(), sec.end(), halo_e.begin());
+        } else {
+          for (std::size_t j = 0; j < g.h(); ++j) {
+            halo_e[j] = p.za[(g.r0 + j) * n + g.c1];
+          }
+        }
 
-    std::vector<double> halo_n(g.w()), halo_s(g.w());
-    std::vector<double> halo_w(g.h()), halo_e(g.h());
+        // -- compute -----------------------------------------------------
+        sweep_block(p, g, halo_n, halo_s, halo_w, halo_e);
 
-    for (std::size_t l = 0; l < iters; ++l) {
-      // -- gather phase ------------------------------------------------
-      if (has_north) {
-        Section sec(r_n);
-        const double* v = sec.as_const<double>();
-        std::copy(v, v + g.w(), halo_n.begin());
-      } else {
-        for (std::size_t k = 0; k < g.w(); ++k) {
-          halo_n[k] = p.za[(g.r0 - 1) * n + g.c0 + k];
+        // -- publish phase -----------------------------------------------
+        {
+          WriteGuard<double[]> sec(w_n);
+          for (std::size_t k = 0; k < g.w(); ++k) {
+            sec[k] = p.za[g.r0 * n + g.c0 + k];
+          }
         }
-      }
-      if (has_west) {
-        Section sec(r_w);
-        const double* v = sec.as_const<double>();
-        std::copy(v, v + g.h(), halo_w.begin());
-      } else {
-        for (std::size_t j = 0; j < g.h(); ++j) {
-          halo_w[j] = p.za[(g.r0 + j) * n + g.c0 - 1];
+        {
+          WriteGuard<double[]> sec(w_s);
+          for (std::size_t k = 0; k < g.w(); ++k) {
+            sec[k] = p.za[(g.r1 - 1) * n + g.c0 + k];
+          }
         }
-      }
-      if (has_south) {
-        Section sec(r_s);
-        const double* v = sec.as_const<double>();
-        std::copy(v, v + g.w(), halo_s.begin());
-      } else {
-        for (std::size_t k = 0; k < g.w(); ++k) {
-          halo_s[k] = p.za[g.r1 * n + g.c0 + k];
+        {
+          WriteGuard<double[]> sec(w_w);
+          for (std::size_t j = 0; j < g.h(); ++j) {
+            sec[j] = p.za[(g.r0 + j) * n + g.c0];
+          }
         }
-      }
-      if (has_east) {
-        Section sec(r_e);
-        const double* v = sec.as_const<double>();
-        std::copy(v, v + g.h(), halo_e.begin());
-      } else {
-        for (std::size_t j = 0; j < g.h(); ++j) {
-          halo_e[j] = p.za[(g.r0 + j) * n + g.c1];
+        {
+          WriteGuard<double[]> sec(w_e);
+          for (std::size_t j = 0; j < g.h(); ++j) {
+            sec[j] = p.za[(g.r0 + j) * n + g.c1 - 1];
+          }
         }
-      }
+      });
+    });
+  }
 
-      // -- compute -----------------------------------------------------
-      sweep_block(p, g, halo_n, halo_s, halo_w, halo_e);
-
-      // -- publish phase -----------------------------------------------
-      {
-        Section sec(w_n);
-        double* v = sec.as<double>();
-        for (std::size_t k = 0; k < g.w(); ++k) {
-          v[k] = p.za[g.r0 * n + g.c0 + k];
-        }
-      }
-      {
-        Section sec(w_s);
-        double* v = sec.as<double>();
-        for (std::size_t k = 0; k < g.w(); ++k) {
-          v[k] = p.za[(g.r1 - 1) * n + g.c0 + k];
-        }
-      }
-      {
-        Section sec(w_w);
-        double* v = sec.as<double>();
-        for (std::size_t j = 0; j < g.h(); ++j) {
-          v[j] = p.za[(g.r0 + j) * n + g.c0];
-        }
-      }
-      {
-        Section sec(w_e);
-        double* v = sec.as<double>();
-        for (std::size_t j = 0; j < g.h(); ++j) {
-          v[j] = p.za[(g.r0 + j) * n + g.c1 - 1];
-        }
-      }
-    }
-  });
-
+  Program prog = builder.build();
   prog.run();
 }
 
@@ -316,84 +312,58 @@ tm::CommMatrix lk23_ops_comm_matrix(std::size_t n, std::size_t by,
   // neighboring blocks.
   const std::size_t tasks = 4 * by * bx;
   rt::ProgramOptions opts;
-  opts.locations_per_task = 2;
-  opts.dry_run = true;
+  opts.dry_run = true;  // builder: sizes recorded, nothing allocated
   opts.affinity = rt::AffinityMode::Off;
   opts.control_threads = 0;
-  rt::Program prog(tasks, opts);
+  ProgramBuilder builder(tasks, opts);
 
-  prog.set_task_body([&, by, bx](rt::TaskContext& ctx) {
-    const std::size_t block = ctx.id() / 4;
-    const std::size_t role = ctx.id() % 4;
+  const auto task_of = [](std::size_t b, std::size_t r) { return b * 4 + r; };
+  for (std::size_t id = 0; id < tasks; ++id) {
+    const std::size_t block = id / 4;
+    const std::size_t role = id % 4;
     const std::size_t bi = block / bx;
     const std::size_t bj = block % bx;
     const BlockGeom g = block_geom(n, by, bx, bi, bj);
-    const std::size_t block_bytes = g.h() * g.w() * sizeof(double);
-    const std::size_t row_bytes = g.w() * sizeof(double);
-    const std::size_t col_bytes = g.h() * sizeof(double);
-    const std::size_t frame_bytes = 2 * (row_bytes + col_bytes);
-
-    // All handles are leaked into this vector; the program is dry-run so
-    // they only serve graph construction.
-    std::vector<std::unique_ptr<Handle2>> handles;
-    auto link = [&](rt::Location& loc, rt::AccessMode m,
-                    std::uint64_t prio) {
-      handles.push_back(std::make_unique<Handle2>());
-      if (m == rt::AccessMode::Write) {
-        handles.back()->write_insert(ctx, loc, prio);
-      } else {
-        handles.back()->read_insert(ctx, loc, prio);
-      }
-    };
-    const auto task_of = [&](std::size_t b, std::size_t r) {
-      return b * 4 + r;
-    };
+    TaskSpec& spec = builder.task(id);
 
     switch (role) {
       case 0:  // center: writes block, reads the gatherer's frame
-        ctx.scale_hint(block_bytes, 0);
-        link(ctx.my_location(0), rt::AccessMode::Write, 0);
-        link(ctx.location(task_of(block, 3), 0), rt::AccessMode::Read, 1);
+        spec.owns<double[]>(g.h() * g.w(), 0);
+        spec.writes(loc(id, 0), 0);
+        spec.reads(loc(task_of(block, 3), 0), 1);
         break;
       case 1:  // row borders: reads block, publishes N-out / S-out
-        ctx.scale_hint(row_bytes, 0);
-        ctx.scale_hint(row_bytes, 1);
-        link(ctx.location(task_of(block, 0), 0), rt::AccessMode::Read, 1);
-        link(ctx.my_location(0), rt::AccessMode::Write, 0);
-        link(ctx.my_location(1), rt::AccessMode::Write, 0);
+        spec.owns<double[]>(g.w(), 0).owns<double[]>(g.w(), 1);
+        spec.reads(loc(task_of(block, 0), 0), 1);
+        spec.writes(loc(id, 0), 0).writes(loc(id, 1), 0);
         break;
       case 2:  // col borders: reads block, publishes W-out / E-out
-        ctx.scale_hint(col_bytes, 0);
-        ctx.scale_hint(col_bytes, 1);
-        link(ctx.location(task_of(block, 0), 0), rt::AccessMode::Read, 1);
-        link(ctx.my_location(0), rt::AccessMode::Write, 0);
-        link(ctx.my_location(1), rt::AccessMode::Write, 0);
+        spec.owns<double[]>(g.h(), 0).owns<double[]>(g.h(), 1);
+        spec.reads(loc(task_of(block, 0), 0), 1);
+        spec.writes(loc(id, 0), 0).writes(loc(id, 1), 0);
         break;
       case 3:  // gatherer: writes frame, reads neighbor halos
-        ctx.scale_hint(frame_bytes, 0);
-        link(ctx.my_location(0), rt::AccessMode::Write, 0);
+        spec.owns<double[]>(2 * (g.w() + g.h()), 0);
+        spec.writes(loc(id, 0), 0);
         if (bi > 0) {  // north block's S-out
-          link(ctx.location(task_of(block - bx, 1), 1),
-               rt::AccessMode::Read, 1);
+          spec.reads(loc(task_of(block - bx, 1), 1), 1);
         }
         if (bi + 1 < by) {  // south block's N-out
-          link(ctx.location(task_of(block + bx, 1), 0),
-               rt::AccessMode::Read, 1);
+          spec.reads(loc(task_of(block + bx, 1), 0), 1);
         }
         if (bj > 0) {  // west block's E-out
-          link(ctx.location(task_of(block - 1, 2), 1),
-               rt::AccessMode::Read, 1);
+          spec.reads(loc(task_of(block - 1, 2), 1), 1);
         }
         if (bj + 1 < bx) {  // east block's W-out
-          link(ctx.location(task_of(block + 1, 2), 0),
-               rt::AccessMode::Read, 1);
+          spec.reads(loc(task_of(block + 1, 2), 0), 1);
         }
         break;
     }
-    ctx.schedule();
-  });
+  }
 
-  prog.run();
+  // The declared graph is the whole point here: no body, no run() — the
+  // matrix falls out of the declarations directly.
+  Program prog = builder.build();
   prog.dependency_get();
   return prog.comm_matrix();
 }

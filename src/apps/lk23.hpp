@@ -27,8 +27,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "orwl/orwl.hpp"
 #include "pool/thread_pool.hpp"
-#include "runtime/program.hpp"
 #include "treematch/comm_matrix.hpp"
 
 namespace orwl::apps {
@@ -62,9 +62,10 @@ void lk23_forkjoin(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,
 
 /// Build the communication matrix of the paper's thread decomposition
 /// (4 operation threads per block: center compute + 3 border handlers)
-/// for an n x n problem on blocks_y x blocks_x blocks. Extracted through
-/// a dry-run ORWL program, i.e. by the same dependency_get() code path a
-/// real execution uses. Thread count = 4 * blocks_y * blocks_x.
+/// for an n x n problem on blocks_y x blocks_x blocks. Declaratively
+/// wired and extracted by the same dependency_get() code path a real
+/// execution uses — without running (or even spawning) any task.
+/// Thread count = 4 * blocks_y * blocks_x.
 tm::CommMatrix lk23_ops_comm_matrix(std::size_t n, std::size_t blocks_y,
                                     std::size_t blocks_x);
 

@@ -1,10 +1,10 @@
 #include "apps/matmul.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "apps/dgemm.hpp"
-#include "runtime/handle.hpp"
 #include "support/rng.hpp"
 
 namespace orwl::apps {
@@ -40,6 +40,27 @@ void pack_cols(const double* src, std::size_t n, std::size_t c0,
 
 }  // namespace
 
+namespace {
+
+/// The declarative ring wiring shared by the run and the graph-only
+/// extraction: each task's own slot circulates B column blocks — written
+/// by the task (priority 0), read by its ring predecessor (priority 1).
+ProgramBuilder matmul_builder(std::size_t n, std::size_t tasks,
+                              rt::ProgramOptions prog_opts) {
+  const std::size_t nb = n / tasks;
+  ProgramBuilder b(tasks, prog_opts);
+  for (rt::TaskId t = 0; t < tasks; ++t) {
+    TaskSpec& spec = b.task(t);
+    spec.owns<double[]>(n * nb);
+    spec.writes<double[]>(loc(t), 0);
+    if (tasks > 1) spec.reads<double[]>(loc((t + 1) % tasks), 1);
+    spec.iterates(tasks);
+  }
+  return b;
+}
+
+}  // namespace
+
 void matmul_orwl(MatmulProblem& p, std::size_t tasks,
                  rt::ProgramOptions prog_opts) {
   const std::size_t n = p.n;
@@ -47,28 +68,15 @@ void matmul_orwl(MatmulProblem& p, std::size_t tasks,
     throw std::invalid_argument(
         "matmul_orwl: n must be a positive multiple of tasks");
   }
-  const std::size_t nb = n / tasks;             // rows / cols per block
-  const std::size_t slot_bytes = n * nb * sizeof(double);
+  const std::size_t nb = n / tasks;  // rows / cols per block
 
   std::fill(p.c.begin(), p.c.end(), 0.0);
-  prog_opts.locations_per_task = 1;
-  rt::Program prog(tasks, prog_opts);
-
-  prog.set_task_body([&, n, nb, tasks](rt::TaskContext& ctx) {
-    const std::size_t t = ctx.id();
-    ctx.scale(slot_bytes);
-
-    // Own slot circulates B column blocks: written by me (priority 0),
-    // read by my ring predecessor (priority 1).
-    rt::Handle2 own;
-    rt::Handle2 next;
-    own.write_insert(ctx, ctx.my_location(), 0);
-    if (tasks > 1) {
-      next.read_insert(ctx, ctx.location((t + 1) % tasks), 1);
-    }
-
-    ctx.schedule();
-    if (ctx.dry_run()) return;
+  ProgramBuilder builder = matmul_builder(n, tasks, prog_opts);
+  builder.body([&, n, nb, tasks](Task& task) {
+    const std::size_t t = task.id();
+    WriteLink<double[]> own = task.write_link<double[]>(loc(t));
+    ReadLink<double[]> next;
+    if (tasks > 1) next = task.read_link<double[]>(loc((t + 1) % tasks));
 
     // Initial content: B column block t, packed dense.
     std::vector<double> cur(n * nb);
@@ -76,26 +84,27 @@ void matmul_orwl(MatmulProblem& p, std::size_t tasks,
     std::vector<double> incoming(n * nb);
 
     const double* a_rows = p.a.data() + t * nb * n;  // my A row block
-    for (std::size_t phase = 0; phase < tasks; ++phase) {
+    task.run_iterations([&](std::size_t phase) {
       // Compute C(rows t, cols (t+phase) mod tasks) = A_rows * cur.
       const std::size_t cb = (t + phase) % tasks;
       dgemm(nb, nb, n, a_rows, n, cur.data(), nb,
             p.c.data() + t * nb * n + cb * nb, n);
 
-      if (phase + 1 == tasks || tasks == 1) break;
+      if (phase + 1 == tasks || tasks == 1) return;
       // Circulate: publish my block, take my successor's.
       {
-        rt::Section sec(own);
-        std::memcpy(sec.write_map().data(), cur.data(), slot_bytes);
+        WriteGuard<double[]> out(own);
+        std::copy(cur.begin(), cur.end(), out.begin());
       }
       {
-        rt::Section sec(next);
-        std::memcpy(incoming.data(), sec.read_map().data(), slot_bytes);
+        ReadGuard<double[]> in(next);
+        std::copy(in.begin(), in.end(), incoming.begin());
       }
       cur.swap(incoming);
-    }
+    });
   });
 
+  Program prog = builder.build();
   prog.run();
 }
 
@@ -114,23 +123,14 @@ tm::CommMatrix matmul_comm_matrix(std::size_t n, std::size_t tasks) {
     throw std::invalid_argument(
         "matmul_comm_matrix: n must be a positive multiple of tasks");
   }
+  // Same wiring as the run, declared dry: sizes are recorded without
+  // allocating and the matrix comes from the declared graph — no task
+  // thread is ever spawned (the v1 path dry-ran the whole program here).
   rt::ProgramOptions opts;
   opts.dry_run = true;
   opts.affinity = rt::AffinityMode::Off;
   opts.control_threads = 0;
-  rt::Program prog(tasks, opts);
-  const std::size_t nb = n / tasks;
-  prog.set_task_body([&, tasks, nb](rt::TaskContext& ctx) {
-    ctx.scale_hint(nb * n * sizeof(double));
-    rt::Handle2 own;
-    rt::Handle2 next;
-    own.write_insert(ctx, ctx.my_location(), 0);
-    if (tasks > 1) {
-      next.read_insert(ctx, ctx.location((ctx.id() + 1) % tasks), 1);
-    }
-    ctx.schedule();
-  });
-  prog.run();
+  Program prog = matmul_builder(n, tasks, opts).build();
   prog.dependency_get();
   return prog.comm_matrix();
 }

@@ -14,8 +14,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "orwl/orwl.hpp"
 #include "pool/thread_pool.hpp"
-#include "runtime/program.hpp"
 #include "treematch/comm_matrix.hpp"
 
 namespace orwl::apps {
@@ -32,7 +32,8 @@ void matmul_sequential(MatmulProblem& p);
 
 /// ORWL block-cyclic multiply with `tasks` tasks. Each task owns a block
 /// of rows of A and C and circulates column blocks of B around the task
-/// ring through locations. n must be a multiple of tasks. Overwrites p.c.
+/// ring through locations (declared up front with the v2 builder). n
+/// must be a multiple of tasks. Overwrites p.c.
 void matmul_orwl(MatmulProblem& p, std::size_t tasks,
                  rt::ProgramOptions prog_opts = {});
 
@@ -40,7 +41,8 @@ void matmul_orwl(MatmulProblem& p, std::size_t tasks,
 void matmul_forkjoin(MatmulProblem& p, pool::ThreadPool& pool);
 
 /// Communication matrix of the ORWL decomposition (ring of B-block
-/// circulations), extracted by dry-running the real wiring.
+/// circulations). Declaratively wired: the matrix comes straight from
+/// the declared graph — no task ever runs, no buffer is allocated.
 tm::CommMatrix matmul_comm_matrix(std::size_t n, std::size_t tasks);
 
 }  // namespace orwl::apps

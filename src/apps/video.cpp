@@ -1,13 +1,11 @@
 #include "apps/video.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "apps/image.hpp"
-#include "runtime/fifo.hpp"
-#include "runtime/handle.hpp"
-#include "runtime/split.hpp"
 
 namespace orwl::apps {
 
@@ -32,9 +30,7 @@ VideoParams video_4k() {
 
 namespace {
 
-using rt::Handle2;
-using rt::Section;
-using rt::split_range;
+using orwl::split_range;
 
 // ---------------------- location serialization PODs ----------------------
 
@@ -207,8 +203,11 @@ VideoResult video_sequential(const VideoParams& params) {
 
 namespace {
 
-/// Builds and runs the ORWL video program. With opts.dry_run the bodies
-/// return right after schedule() and only the graph is produced.
+/// Builds and runs the ORWL video program on the v2 facade's imperative
+/// path: the pipeline mixes typed locations with FIFO channels and
+/// role-specific wirings, which is exactly the dynamic-insert shape the
+/// imperative Task API exists for. With opts.dry_run the bodies return
+/// right after schedule() and only the graph is produced.
 void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
                        VideoResult* result, tm::CommMatrix* matrix) {
   const std::size_t w = params.width;
@@ -218,224 +217,198 @@ void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
   const Scene scene = Scene::demo(w, h, params.objects, params.seed);
 
   opts.locations_per_task = 2;
-  rt::Program prog(params.num_tasks(), opts);
+  Program prog(params.num_tasks(), opts);
 
   // ---- producer --------------------------------------------------------
-  prog.set_task_body(params.producer_task(), [&](rt::TaskContext& ctx) {
-    rt::FifoProducer out;
-    out.link(ctx, params.producer_task(), 0, 2, frame_bytes);
-    ctx.schedule();
-    if (ctx.dry_run()) return;
-    for (std::size_t f = 0; f < frames; ++f) {
+  prog.set_task_body(params.producer_task(), [&](Task& task) {
+    FifoProducer out;
+    out.link(task.context(), params.producer_task(), 0, 2, frame_bytes);
+    task.schedule();
+    if (task.dry_run()) return;
+    task.run_iterations(frames, [&](std::size_t f) {
       auto buf = out.begin_push();
-      scene.render(f, reinterpret_cast<Pixel*>(buf.data()));
+      scene.render(f, as_span<Pixel>(buf).data());
       out.end_push();
-    }
+    });
   });
 
   // ---- gmm splits --------------------------------------------------------
   for (std::size_t g = 0; g < params.gmm_splits; ++g) {
-    prog.set_task_body(params.gmm_split_task(g), [&, g](rt::TaskContext& ctx) {
+    prog.set_task_body(params.gmm_split_task(g), [&, g](Task& task) {
       const auto band = split_range(h, params.gmm_splits, g);
-      const std::size_t band_bytes = band.size() * w;
-      ctx.scale(band_bytes, 0);
-      rt::FifoConsumer frames_in;
-      frames_in.link(ctx, params.producer_task(), 0, 2);
-      Handle2 band_out;
-      band_out.write_insert(ctx, ctx.my_location(0), 0);
-      ctx.schedule();
-      if (ctx.dry_run()) return;
+      task.my<Pixel[]>(0).scale(band.size() * w);
+      FifoConsumer frames_in;
+      frames_in.link(task.context(), params.producer_task(), 0, 2);
+      WriteLink<Pixel[]> band_out = task.write<Pixel[]>(task.mine(0), 0);
+      task.schedule();
+      if (task.dry_run()) return;
 
       BackgroundModel model;  // private band state
       model.init(w, h);
       std::vector<Pixel> mask(w * h);  // only band rows are touched
-      for (std::size_t f = 0; f < frames; ++f) {
+      task.run_iterations(frames, [&](std::size_t) {
         auto in = frames_in.begin_pop();
-        model.process_rows(reinterpret_cast<const Pixel*>(in.data()),
-                           mask.data(), band.begin, band.end);
+        model.process_rows(as_span<Pixel>(in).data(), mask.data(),
+                           band.begin, band.end);
         frames_in.end_pop();
-        Section sec(band_out);
-        std::memcpy(sec.write_map().data(), mask.data() + band.begin * w,
-                    band_bytes);
-      }
+        WriteGuard<Pixel[]> sec(band_out);
+        std::copy_n(mask.data() + band.begin * w, sec.size(), sec.data());
+      });
     });
   }
 
   // ---- gmm merge ---------------------------------------------------------
-  prog.set_task_body(params.gmm_task(), [&](rt::TaskContext& ctx) {
-    ctx.scale(frame_bytes, 0);
-    Handle2 mask_out;
-    mask_out.write_insert(ctx, ctx.my_location(0), 0);
-    std::vector<std::unique_ptr<Handle2>> bands_in;
+  prog.set_task_body(params.gmm_task(), [&](Task& task) {
+    task.my<Pixel[]>(0).scale(frame_bytes);
+    WriteLink<Pixel[]> mask_out = task.write<Pixel[]>(task.mine(0), 0);
+    std::vector<ReadLink<Pixel[]>> bands_in;
     for (std::size_t g = 0; g < params.gmm_splits; ++g) {
-      bands_in.push_back(std::make_unique<Handle2>());
-      bands_in.back()->read_insert(
-          ctx, ctx.location(params.gmm_split_task(g), 0), 1);
+      bands_in.push_back(
+          task.read<Pixel[]>(loc(params.gmm_split_task(g), 0), 1));
     }
-    ctx.schedule();
-    if (ctx.dry_run()) return;
+    task.schedule();
+    if (task.dry_run()) return;
 
-    for (std::size_t f = 0; f < frames; ++f) {
-      Section out(mask_out);
-      std::byte* mask = out.write_map().data();
+    task.run_iterations(frames, [&](std::size_t) {
+      WriteGuard<Pixel[]> out(mask_out);
       for (std::size_t g = 0; g < params.gmm_splits; ++g) {
         const auto band = split_range(h, params.gmm_splits, g);
-        Section in(*bands_in[g]);
-        std::memcpy(mask + band.begin * w, in.read_map().data(),
-                    band.size() * w);
+        ReadGuard<Pixel[]> in(bands_in[g]);
+        std::copy(in.begin(), in.end(),
+                  out.span().subspan(band.begin * w).begin());
       }
-    }
+    });
   });
 
   // ---- erode -------------------------------------------------------------
-  prog.set_task_body(params.erode_task(), [&](rt::TaskContext& ctx) {
-    ctx.scale(frame_bytes, 0);
-    Handle2 in;
-    Handle2 out;
-    in.read_insert(ctx, ctx.location(params.gmm_task(), 0), 1);
-    out.write_insert(ctx, ctx.my_location(0), 0);
-    ctx.schedule();
-    if (ctx.dry_run()) return;
-    for (std::size_t f = 0; f < frames; ++f) {
-      Section sin(in);
-      Section sout(out);
-      erode3x3(reinterpret_cast<const Pixel*>(sin.read_map().data()),
-               reinterpret_cast<Pixel*>(sout.write_map().data()), w, h);
-    }
+  prog.set_task_body(params.erode_task(), [&](Task& task) {
+    task.my<Pixel[]>(0).scale(frame_bytes);
+    ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(params.gmm_task(), 0), 1);
+    WriteLink<Pixel[]> out = task.write<Pixel[]>(task.mine(0), 0);
+    task.schedule();
+    if (task.dry_run()) return;
+    task.run_iterations(frames, [&](std::size_t) {
+      ReadGuard<Pixel[]> sin(in);
+      WriteGuard<Pixel[]> sout(out);
+      erode3x3(sin.data(), sout.data(), w, h);
+    });
   });
 
   // ---- dilate chain --------------------------------------------------------
   for (std::size_t d = 0; d < params.dilates; ++d) {
-    prog.set_task_body(params.dilate_task(d), [&, d](rt::TaskContext& ctx) {
-      ctx.scale(frame_bytes, 0);
+    prog.set_task_body(params.dilate_task(d), [&, d](Task& task) {
+      task.my<Pixel[]>(0).scale(frame_bytes);
       const std::size_t prev_task =
           d == 0 ? params.erode_task() : params.dilate_task(d - 1);
-      Handle2 in;
-      Handle2 out;
-      in.read_insert(ctx, ctx.location(prev_task, 0), 1);
-      out.write_insert(ctx, ctx.my_location(0), 0);
-      ctx.schedule();
-      if (ctx.dry_run()) return;
-      for (std::size_t f = 0; f < frames; ++f) {
-        Section sin(in);
-        Section sout(out);
-        dilate3x3(reinterpret_cast<const Pixel*>(sin.read_map().data()),
-                  reinterpret_cast<Pixel*>(sout.write_map().data()), w, h);
-      }
+      ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(prev_task, 0), 1);
+      WriteLink<Pixel[]> out = task.write<Pixel[]>(task.mine(0), 0);
+      task.schedule();
+      if (task.dry_run()) return;
+      task.run_iterations(frames, [&](std::size_t) {
+        ReadGuard<Pixel[]> sin(in);
+        WriteGuard<Pixel[]> sout(out);
+        dilate3x3(sin.data(), sout.data(), w, h);
+      });
     });
   }
 
   // ---- ccl splits -----------------------------------------------------------
   const std::size_t last_dilate = params.dilate_task(params.dilates - 1);
   for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-    prog.set_task_body(params.ccl_split_task(c), [&, c](rt::TaskContext& ctx) {
+    prog.set_task_body(params.ccl_split_task(c), [&, c](Task& task) {
       const auto band = split_range(h, params.ccl_splits, c);
-      ctx.scale(ccl_band_bytes(w), 0);
-      Handle2 in;
-      Handle2 out;
-      in.read_insert(ctx, ctx.location(last_dilate, 0), 1);
-      out.write_insert(ctx, ctx.my_location(0), 0);
-      ctx.schedule();
-      if (ctx.dry_run()) return;
-      for (std::size_t f = 0; f < frames; ++f) {
+      task.my<std::byte[]>(0).scale(ccl_band_bytes(w));
+      ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(last_dilate, 0), 1);
+      WriteLink<std::byte[]> out = task.write<std::byte[]>(task.mine(0), 0);
+      task.schedule();
+      if (task.dry_run()) return;
+      task.run_iterations(frames, [&](std::size_t) {
         BandLabeling labeled;
         {
-          Section sin(in);
-          labeled = label_band(
-              reinterpret_cast<const Pixel*>(sin.read_map().data()), w,
-              band.begin, band.end);
+          ReadGuard<Pixel[]> sin(in);
+          labeled = label_band(sin.data(), w, band.begin, band.end);
         }
-        Section sout(out);
-        serialize_band(labeled, w, sout.write_map().data());
-      }
+        WriteGuard<std::byte[]> sout(out);
+        serialize_band(labeled, w, sout.data());
+      });
     });
   }
 
   // ---- ccl merge ---------------------------------------------------------
-  prog.set_task_body(params.ccl_task(), [&](rt::TaskContext& ctx) {
-    ctx.scale(sizeof(DetectionBlock), 0);
-    std::vector<std::unique_ptr<Handle2>> bands_in;
+  prog.set_task_body(params.ccl_task(), [&](Task& task) {
+    task.my<DetectionBlock>(0).scale();
+    std::vector<ReadLink<std::byte[]>> bands_in;
     for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-      bands_in.push_back(std::make_unique<Handle2>());
-      bands_in.back()->read_insert(
-          ctx, ctx.location(params.ccl_split_task(c), 0), 1);
+      bands_in.push_back(
+          task.read<std::byte[]>(loc(params.ccl_split_task(c), 0), 1));
     }
-    Handle2 out;
-    out.write_insert(ctx, ctx.my_location(0), 0);
-    ctx.schedule();
-    if (ctx.dry_run()) return;
+    WriteLink<DetectionBlock> out = task.write<DetectionBlock>(task.mine(0), 0);
+    task.schedule();
+    if (task.dry_run()) return;
 
-    for (std::size_t f = 0; f < frames; ++f) {
+    task.run_iterations(frames, [&](std::size_t) {
       std::vector<BandLabeling> bands;
       for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-        Section sin(*bands_in[c]);
-        bands.push_back(deserialize_band(sin.read_map().data(), w));
+        ReadGuard<std::byte[]> sin(bands_in[c]);
+        bands.push_back(deserialize_band(sin.data(), w));
       }
       const auto comps = merge_bands(bands, w, params.min_area);
       if (comps.size() > kMaxDetections) {
         throw std::runtime_error("video: too many detections");
       }
-      Section sout(out);
-      auto* blk = reinterpret_cast<DetectionBlock*>(sout.write_map().data());
+      WriteGuard<DetectionBlock> blk(out);
       blk->count = static_cast<std::int32_t>(comps.size());
       for (std::size_t i = 0; i < comps.size(); ++i) {
         blk->dets[i] = {comps[i].cx(), comps[i].cy(), comps[i].area};
       }
-    }
+    });
   });
 
   // ---- tracking ------------------------------------------------------------
-  prog.set_task_body(params.tracking_task(), [&](rt::TaskContext& ctx) {
-    ctx.scale(sizeof(TrackBlock), 0);
-    Handle2 in;
-    Handle2 out;
-    in.read_insert(ctx, ctx.location(params.ccl_task(), 0), 1);
-    out.write_insert(ctx, ctx.my_location(0), 0);
-    ctx.schedule();
-    if (ctx.dry_run()) return;
+  prog.set_task_body(params.tracking_task(), [&](Task& task) {
+    task.my<TrackBlock>(0).scale();
+    ReadLink<DetectionBlock> in =
+        task.read<DetectionBlock>(loc(params.ccl_task(), 0), 1);
+    WriteLink<TrackBlock> out = task.write<TrackBlock>(task.mine(0), 0);
+    task.schedule();
+    if (task.dry_run()) return;
 
     Tracker tracker;
-    for (std::size_t f = 0; f < frames; ++f) {
+    task.run_iterations(frames, [&](std::size_t) {
       std::vector<std::array<double, 2>> dets;
       std::int32_t ndet = 0;
       {
-        Section sin(in);
-        const auto* blk =
-            reinterpret_cast<const DetectionBlock*>(sin.read_map().data());
-        ndet = blk->count;
-        for (std::int32_t i = 0; i < blk->count; ++i) {
-          dets.push_back({blk->dets[i].x, blk->dets[i].y});
+        ReadGuard<DetectionBlock> sin(in);
+        ndet = sin->count;
+        for (std::int32_t i = 0; i < sin->count; ++i) {
+          dets.push_back({sin->dets[i].x, sin->dets[i].y});
         }
       }
       tracker.update(dets);
-      Section sout(out);
-      auto* blk = reinterpret_cast<TrackBlock*>(sout.write_map().data());
+      WriteGuard<TrackBlock> blk(out);
       blk->num_detections = ndet;
-      blk->num_tracks =
-          static_cast<std::int32_t>(tracker.tracks().size());
+      blk->num_tracks = static_cast<std::int32_t>(tracker.tracks().size());
       blk->tracks_created = tracker.total_tracks_created();
       for (std::size_t i = 0; i < tracker.tracks().size() && i < kMaxTracks;
            ++i) {
         const Track& t = tracker.tracks()[i];
         blk->tracks[i] = {t.id, t.age, t.x, t.y};
       }
-    }
+    });
   });
 
   // ---- consumer -------------------------------------------------------------
-  prog.set_task_body(params.consumer_task(), [&](rt::TaskContext& ctx) {
-    Handle2 in;
-    in.read_insert(ctx, ctx.location(params.tracking_task(), 0), 1);
-    ctx.schedule();
-    if (ctx.dry_run()) return;
-    for (std::size_t f = 0; f < frames; ++f) {
-      Section sin(in);
+  prog.set_task_body(params.consumer_task(), [&](Task& task) {
+    ReadLink<TrackBlock> in =
+        task.read<TrackBlock>(loc(params.tracking_task(), 0), 1);
+    task.schedule();
+    if (task.dry_run()) return;
+    task.run_iterations(frames, [&](std::size_t) {
+      ReadGuard<TrackBlock> sin(in);
       if (result != nullptr) {
-        const auto* blk =
-            reinterpret_cast<const TrackBlock*>(sin.read_map().data());
-        fill_result_from_track_block(*blk, *result);
+        fill_result_from_track_block(sin.ref(), *result);
       }
-    }
+    });
   });
 
   const auto t0 = std::chrono::steady_clock::now();

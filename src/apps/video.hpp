@@ -18,8 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "orwl/orwl.hpp"
 #include "pool/thread_pool.hpp"
-#include "runtime/program.hpp"
 #include "treematch/comm_matrix.hpp"
 
 namespace orwl::apps {

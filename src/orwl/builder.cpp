@@ -1,0 +1,104 @@
+#include "orwl/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace orwl {
+
+ProgramBuilder::ProgramBuilder(std::size_t num_tasks, Options opts)
+    : opts_(opts), specs_(num_tasks) {
+  if (num_tasks == 0) {
+    throw std::invalid_argument("ProgramBuilder: at least one task");
+  }
+}
+
+TaskSpec& ProgramBuilder::task(TaskId t) {
+  if (t >= specs_.size()) {
+    throw std::out_of_range("ProgramBuilder::task: bad task id");
+  }
+  return specs_[t];
+}
+
+ProgramBuilder& ProgramBuilder::body(TaskBody fn) {
+  spmd_body_ = std::move(fn);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  if (built_) {
+    throw std::logic_error("ProgramBuilder::build: already built");
+  }
+  built_ = true;
+
+  // The slot space comes from the declarations: owned slots size it, and
+  // access targets extend it so a link to an (unsized) foreign slot still
+  // resolves to a real location.
+  std::size_t slots = 1;
+  for (const TaskSpec& spec : specs_) {
+    for (const TaskSpec::OwnDecl& o : spec.owns_) {
+      slots = std::max(slots, o.slot + 1);
+    }
+    for (const TaskSpec::AccessDecl& a : spec.accesses_) {
+      if (a.target.task >= specs_.size()) {
+        throw std::out_of_range(
+            "ProgramBuilder::build: access target names task " +
+            std::to_string(a.target.task) + " of " +
+            std::to_string(specs_.size()));
+      }
+      slots = std::max(slots, a.target.slot + 1);
+    }
+  }
+  opts_.locations_per_task = slots;
+
+  Program p(specs_.size(), opts_);
+  p.declarative_ = true;
+
+  // Scale the owned locations first (sizes precede links, exactly like
+  // the Listing 1 init phase). Dry-run programs record sizes only.
+  for (TaskId t = 0; t < specs_.size(); ++t) {
+    const TaskSpec& spec = specs_[t];
+    for (const TaskSpec::OwnDecl& o : spec.owns_) {
+      rt::Location& l = p.rt_->location(t, o.slot);
+      if (opts_.dry_run) {
+        l.scale_hint(o.bytes);
+      } else {
+        l.scale(o.bytes);
+      }
+    }
+    p.iterations_[t] = spec.iterations_;
+    p.init_[t] = spec.init_;
+    p.bodies_[t] = spec.body_ ? spec.body_ : spmd_body_;
+  }
+
+  // Pre-register every declared access: the runtime's task-location
+  // graph is complete from here on — dependency_get()/affinity_compute()
+  // work without running a single body.
+  for (TaskId t = 0; t < specs_.size(); ++t) {
+    for (const TaskSpec::AccessDecl& a : specs_[t].accesses_) {
+      // Bodies look links up by (location, mode): a second same-mode
+      // link of one task on one location would be unreachable — its
+      // granted request never acquired, stalling the location's FIFO.
+      // Reject the ambiguity at declaration time.
+      for (const Program::DeclaredLink& seen : p.links_[t]) {
+        if (seen.target == a.target && seen.mode == a.mode) {
+          throw std::logic_error(
+              "ProgramBuilder::build: task " + std::to_string(t) +
+              " declares two " + to_string(a.mode) +
+              " links on location (" + std::to_string(a.target.task) +
+              ", " + std::to_string(a.target.slot) +
+              ") — bodies could only ever reach the first");
+        }
+      }
+      auto handle = std::make_unique<rt::Handle2>();
+      p.rt_->declare_insert(t,
+                            p.rt_->location(a.target.task, a.target.slot),
+                            a.mode, a.priority, *handle);
+      p.links_[t].push_back(Program::DeclaredLink{a.target, a.mode, a.type,
+                                                  std::move(handle)});
+    }
+  }
+  return p;
+}
+
+}  // namespace orwl

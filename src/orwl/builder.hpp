@@ -1,0 +1,168 @@
+// The declarative task-graph builder of the v2 facade.
+//
+// "The ORWL programming model exposes all the required pieces of
+// information: the tasks, the amount of data they share or exchange (i.e
+// the location) and their connectivity" (Sec. IV-A) — the builder lets a
+// program state those pieces up front instead of discovering them by
+// running the init phase. Each TaskSpec declares what its task owns
+// (typed locations), which locations it reads/writes (with FIFO
+// priorities), how many iterations it runs, and optionally its init and
+// compute bodies. build() materializes a declarative orwl::Program whose
+// task-location graph is registered with the runtime immediately:
+// dependency_get() / affinity_compute() work before run(), so extracting
+// the communication matrix no longer needs the v1 dry-run double
+// execution.
+//
+//   ProgramBuilder b(kTasks);
+//   for (TaskId t = 0; t < kTasks; ++t) {
+//     auto& spec = b.task(t);
+//     spec.owns<double>().writes<double>(loc(t), t);
+//     if (t > 0) spec.reads<double>(loc(t - 1), t);
+//   }
+//   b.body([](Task& task) { ... guards on task.write_link<double>(...) });
+//   Program p = b.build();
+//   p.dependency_get();          // matrix available: nothing has run
+//   p.run();
+#pragma once
+
+#include <cstdint>
+#include <typeinfo>
+#include <vector>
+
+#include "orwl/program.hpp"
+
+namespace orwl {
+
+/// Declaration record of one task; obtained from ProgramBuilder::task().
+/// All declarators return *this for chaining.
+class TaskSpec {
+ public:
+  /// Declare that this task owns location `slot` holding a single T
+  /// (orwl_scale happens at build() with sizeof(T)).
+  template <typename T>
+    requires(!std::is_array_v<T>)
+  TaskSpec& owns(std::size_t slot = 0) {
+    return own_bytes(slot, sizeof(T));
+  }
+
+  /// Declare an owned array location: `count` elements of T.
+  ///   spec.owns<double[]>(1024);
+  template <typename T>
+    requires(std::is_unbounded_array_v<T>)
+  TaskSpec& owns(std::size_t count, std::size_t slot = 0) {
+    return own_bytes(slot, count * sizeof(std::remove_extent_t<T>));
+  }
+
+  /// Declare a write (exclusive) link to `target`. The element type is
+  /// checked when the body looks the link up; omit it (T = void) for
+  /// untyped blob locations. Default priority 0: writers first is the
+  /// common same-iteration pattern.
+  template <typename T = void>
+  TaskSpec& writes(LocRef target, std::uint64_t priority = 0) {
+    return access(target, AccessMode::Write, priority, element_type<T>());
+  }
+
+  /// Declare a read (shared) link to `target`. Default priority 1 (after
+  /// the owner's write).
+  template <typename T = void>
+  TaskSpec& reads(LocRef target, std::uint64_t priority = 1) {
+    return access(target, AccessMode::Read, priority, element_type<T>());
+  }
+
+  /// Declare the task's iteration count (Task::iterations /
+  /// run_iterations). Metadata for the body; links re-insert themselves
+  /// each iteration regardless.
+  TaskSpec& iterates(std::size_t n) {
+    iterations_ = n;
+    return *this;
+  }
+
+  /// Init-phase hook: runs on the task's thread *before* the schedule
+  /// barrier (e.g. to prime owned buffers with initial values).
+  TaskSpec& init(TaskBody fn) {
+    init_ = std::move(fn);
+    return *this;
+  }
+
+  /// Compute body: runs after the schedule barrier (skipped in dry-run
+  /// programs). Overrides a ProgramBuilder::body SPMD body for this task.
+  TaskSpec& body(TaskBody fn) {
+    body_ = std::move(fn);
+    return *this;
+  }
+
+ private:
+  friend class ProgramBuilder;
+
+  struct OwnDecl {
+    std::size_t slot;
+    std::size_t bytes;
+  };
+  struct AccessDecl {
+    LocRef target;
+    AccessMode mode;
+    std::uint64_t priority;
+    const std::type_info* type;  // null = untyped declaration
+  };
+
+  /// The full declared type (arrays included: `double[]` != `double`,
+  /// so the body's link lookup also checks the shape); void = untyped.
+  template <typename T>
+  static const std::type_info* element_type() noexcept {
+    if constexpr (std::is_void_v<T>) {
+      return nullptr;
+    } else {
+      return &typeid(T);
+    }
+  }
+
+  TaskSpec& own_bytes(std::size_t slot, std::size_t bytes) {
+    owns_.push_back(OwnDecl{slot, bytes});
+    return *this;
+  }
+
+  TaskSpec& access(LocRef target, AccessMode mode, std::uint64_t priority,
+                   const std::type_info* type) {
+    accesses_.push_back(AccessDecl{target, mode, priority, type});
+    return *this;
+  }
+
+  std::vector<OwnDecl> owns_;
+  std::vector<AccessDecl> accesses_;
+  std::size_t iterations_ = 0;
+  TaskBody init_;
+  TaskBody body_;
+};
+
+class ProgramBuilder {
+ public:
+  /// Builder for `num_tasks` tasks. opts.locations_per_task is derived
+  /// from the owns() declarations (their maximum slot + 1); the other
+  /// options pass through unchanged. With opts.dry_run the built program
+  /// records sizes without allocating (scale_hint), for graph-only use.
+  explicit ProgramBuilder(std::size_t num_tasks, Options opts = {});
+
+  /// The declaration record of task `t`.
+  /// \throws std::out_of_range for a bad task id.
+  TaskSpec& task(TaskId t);
+
+  /// SPMD body used for every task without a TaskSpec::body override.
+  ProgramBuilder& body(TaskBody fn);
+
+  std::size_t num_tasks() const noexcept { return specs_.size(); }
+
+  /// Materialize the declarative program: create the runtime, scale the
+  /// owned locations, and pre-register every declared access so the
+  /// graph exists before anything runs. The builder can build() once.
+  /// \throws std::logic_error on re-build; std::out_of_range for access
+  ///         targets outside the declared task/slot space.
+  Program build();
+
+ private:
+  Options opts_;
+  std::vector<TaskSpec> specs_;
+  TaskBody spmd_body_;
+  bool built_ = false;
+};
+
+}  // namespace orwl

@@ -1,0 +1,220 @@
+// Phase-safe access guards: the typed replacement for rt::Section.
+//
+// A link token (ReadLink<T> / WriteLink<T>) names one task-location link
+// with its access mode and element type in the type system, so the
+// compiler — not the runtime — rejects writing through a read link: a
+// WriteGuard is constructible from a WriteLink only. Guards acquire on
+// construction and release on scope exit; teardown is noexcept (a
+// throwing release during unwinding is swallowed and recorded on the
+// guard-teardown counters, and releasing twice is a no-op), which fixes
+// the v1 Section's throwing destructor. Accessing a guard after
+// release() throws — the buffer belongs to the next grantee by then,
+// exactly like v1's "section not acquired" maps.
+#pragma once
+
+#include <span>
+
+#include "orwl/typed.hpp"
+#include "runtime/handle.hpp"
+
+namespace orwl {
+
+namespace detail {
+
+/// Type-erased core of the link tokens: a non-owning pointer to a
+/// runtime handle managed by the Task/Program link tables. Copyable and
+/// cheap; an empty token throws on first use, not at construction, so
+/// conditional links ("only read a neighbor when one exists") stay
+/// ergonomic.
+class LinkBase {
+ public:
+  bool linked() const noexcept { return h_ != nullptr; }
+
+  rt::Handle& handle() const {
+    if (h_ == nullptr) {
+      throw std::logic_error(
+          "orwl link: empty token (the link was never declared/inserted)");
+    }
+    return *h_;
+  }
+
+ protected:
+  LinkBase() = default;
+  explicit LinkBase(rt::Handle& h) noexcept : h_(&h) {}
+
+ private:
+  rt::Handle* h_ = nullptr;
+};
+
+}  // namespace detail
+
+/// Token for a shared-access link (orwl_read_insert). T may be an
+/// element type (`double`) or an unbounded array (`double[]`).
+template <typename T>
+class ReadLink : public detail::LinkBase {
+ public:
+  ReadLink() = default;
+  explicit ReadLink(rt::Handle& h) noexcept : LinkBase(h) {}
+};
+
+/// Token for an exclusive-access link (orwl_write_insert).
+template <typename T>
+class WriteLink : public detail::LinkBase {
+ public:
+  WriteLink() = default;
+  explicit WriteLink(rt::Handle& h) noexcept : LinkBase(h) {}
+};
+
+namespace detail {
+
+/// Acquire/teardown logic shared by all guards. The destructor calls the
+/// handle's noexcept teardown release; release() offers the throwing
+/// early-release for code that wants to observe protocol errors.
+class GuardBase {
+ public:
+  GuardBase(const GuardBase&) = delete;
+  GuardBase& operator=(const GuardBase&) = delete;
+
+  /// Release the lock before scope exit (idempotent: releasing an
+  /// already-released guard is a no-op). Unlike the destructor this
+  /// throws on protocol errors — and a throwing release leaves the
+  /// guard armed, so the destructor's noexcept teardown still runs and
+  /// records the failure (same contract as rt::Section).
+  void release() {
+    if (h_ == nullptr) return;
+    if (h_->acquired()) h_->release();
+    h_ = nullptr;
+  }
+
+  /// True until release() (explicit or via destructor).
+  bool held() const noexcept { return h_ != nullptr; }
+
+ protected:
+  explicit GuardBase(rt::Handle& h) : h_(&h) { h.acquire(); }
+  ~GuardBase() {
+    if (h_ != nullptr) h_->release_for_teardown();
+  }
+
+  rt::Handle& handle() const noexcept { return *h_; }
+
+  /// Accessor gate: after release() the buffer belongs to the next
+  /// grantee, so the cached map must not be reachable (v1's maps threw
+  /// "section not acquired" here; the typed guards keep that contract).
+  void ensure_held() const {
+    if (h_ == nullptr) {
+      throw std::logic_error("orwl guard: accessed after release()");
+    }
+  }
+
+ private:
+  rt::Handle* h_;
+};
+
+}  // namespace detail
+
+/// Exclusive typed access to a single-element location for the guard's
+/// scope. Constructible from a WriteLink only — a WriteGuard over a
+/// ReadLink is a compile-time error.
+template <typename T>
+class WriteGuard : public detail::GuardBase {
+ public:
+  explicit WriteGuard(const WriteLink<T>& link)
+      : GuardBase(link.handle()),
+        p_(detail::checked_span<T>(handle().write_map().data(),
+                                   handle().write_map().size(), "WriteGuard")
+               .data()) {}
+
+  T& ref() {
+    ensure_held();
+    return *p_;
+  }
+  T& operator*() { return ref(); }
+  T* operator->() {
+    ensure_held();
+    return p_;
+  }
+
+ private:
+  T* p_;
+};
+
+/// Exclusive typed access to an array location.
+template <typename T>
+class WriteGuard<T[]> : public detail::GuardBase {
+ public:
+  explicit WriteGuard(const WriteLink<T[]>& link)
+      : GuardBase(link.handle()),
+        span_(detail::checked_span<T>(handle().write_map().data(),
+                                      handle().write_map().size(),
+                                      "WriteGuard", 0)) {}
+
+  std::span<T> span() {
+    ensure_held();
+    return span_;
+  }
+  T& operator[](std::size_t i) { return span()[i]; }
+  std::size_t size() const {
+    ensure_held();
+    return span_.size();
+  }
+  T* data() { return span().data(); }
+  auto begin() { return span().begin(); }
+  auto end() { return span().end(); }
+
+ private:
+  std::span<T> span_;
+};
+
+/// Shared typed access to a single-element location. Constructible from
+/// a ReadLink; the granted reader group shares the head of the FIFO.
+template <typename T>
+class ReadGuard : public detail::GuardBase {
+ public:
+  explicit ReadGuard(const ReadLink<T>& link)
+      : GuardBase(link.handle()),
+        p_(detail::checked_span<T>(handle().read_map().data(),
+                                   handle().read_map().size(), "ReadGuard")
+               .data()) {}
+
+  const T& ref() const {
+    ensure_held();
+    return *p_;
+  }
+  const T& operator*() const { return ref(); }
+  const T* operator->() const {
+    ensure_held();
+    return p_;
+  }
+
+ private:
+  const T* p_;
+};
+
+/// Shared typed access to an array location.
+template <typename T>
+class ReadGuard<T[]> : public detail::GuardBase {
+ public:
+  explicit ReadGuard(const ReadLink<T[]>& link)
+      : GuardBase(link.handle()),
+        span_(detail::checked_span<T>(handle().read_map().data(),
+                                      handle().read_map().size(),
+                                      "ReadGuard", 0)) {}
+
+  std::span<const T> span() const {
+    ensure_held();
+    return span_;
+  }
+  const T& operator[](std::size_t i) const { return span()[i]; }
+  std::size_t size() const {
+    ensure_held();
+    return span_.size();
+  }
+  const T* data() const { return span().data(); }
+  auto begin() const { return span().begin(); }
+  auto end() const { return span().end(); }
+
+ private:
+  std::span<const T> span_;
+};
+
+}  // namespace orwl

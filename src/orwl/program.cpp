@@ -1,0 +1,118 @@
+#include "orwl/program.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace orwl {
+
+Program::Program(std::size_t num_tasks, Options opts)
+    : rt_(std::make_unique<rt::Program>(num_tasks, opts)),
+      links_(num_tasks),
+      iterations_(num_tasks, 0),
+      init_(num_tasks),
+      bodies_(num_tasks) {}
+
+void Program::set_task_body(TaskBody fn) {
+  for (auto& b : bodies_) b = fn;
+}
+
+void Program::set_task_body(TaskId id, TaskBody fn) {
+  if (id >= bodies_.size()) {
+    throw std::out_of_range("set_task_body: bad task id");
+  }
+  bodies_[id] = std::move(fn);
+}
+
+std::size_t Program::iterations_of(TaskId id) const {
+  if (id >= iterations_.size()) {
+    throw std::out_of_range("iterations_of: bad task id");
+  }
+  return iterations_[id];
+}
+
+rt::Handle& Program::declared_handle(TaskId task, LocRef target,
+                                     AccessMode mode,
+                                     const std::type_info* type) {
+  if (!declarative_) {
+    throw std::logic_error(
+        "read_link/write_link: imperative program — create links with "
+        "Task::read()/Task::write() instead");
+  }
+  if (task >= links_.size()) {
+    throw std::out_of_range("declared_handle: bad task id");
+  }
+  for (DeclaredLink& l : links_[task]) {
+    if (l.target == target && l.mode == mode) {
+      if (type != nullptr && l.type != nullptr && *l.type != *type) {
+        throw std::logic_error(
+            std::string("link lookup: the ") + to_string(mode) +
+            " link of task " + std::to_string(task) + " on location (" +
+            std::to_string(target.task) + ", " +
+            std::to_string(target.slot) + ") was declared with type " +
+            l.type->name() + ", requested " + type->name());
+      }
+      return *l.handle;
+    }
+  }
+  throw std::logic_error(std::string("link lookup: task ") +
+                         std::to_string(task) + " declared no " +
+                         to_string(mode) + " link on location (" +
+                         std::to_string(target.task) + ", " +
+                         std::to_string(target.slot) + ")");
+}
+
+void Program::run() {
+  const std::size_t n = bodies_.size();
+  for (TaskId t = 0; t < n; ++t) {
+    if (!declarative_ && !bodies_[t]) {
+      throw std::logic_error("Program::run: task " + std::to_string(t) +
+                             " has no body");
+    }
+    // A declarative task may run body-less only when its declared
+    // requests are never granted to anyone (dry-run) or it declared
+    // none (barrier-only): otherwise its enqueued tickets would sit
+    // unacquired forever, stalling every later request on those
+    // locations until the deadlock guard fires. Fail fast like v1 did.
+    if (declarative_ && !bodies_[t] && !links_[t].empty() &&
+        !rt_->dry_run()) {
+      throw std::logic_error(
+          "Program::run: declarative task " + std::to_string(t) +
+          " declared location accesses but has no body — its requests "
+          "would never be acquired");
+    }
+    const TaskBody user = bodies_[t];
+    const TaskBody prologue = init_[t];
+    if (declarative_) {
+      // Declared links already carry the whole init phase: run the
+      // optional init hook, pass the barrier, then hand the task its
+      // post-schedule body. Dry-run programs skip both — the builder
+      // only scale_hint'ed their locations, so an init hook would find
+      // no buffers to prime (and graph extraction no longer needs to
+      // run at all).
+      rt_->set_task_body(t, [this, user, prologue](rt::TaskContext& ctx) {
+        Task task(*this, ctx);
+        if (prologue && !ctx.dry_run()) prologue(task);
+        ctx.schedule();
+        if (ctx.dry_run()) return;
+        if (user) user(task);
+      });
+    } else {
+      rt_->set_task_body(t, [this, user](rt::TaskContext& ctx) {
+        Task task(*this, ctx);
+        user(task);
+      });
+    }
+  }
+  rt_->run();
+}
+
+void Task::schedule() {
+  if (prog_->declarative()) {
+    throw std::logic_error(
+        "Task::schedule: declarative bodies start after the schedule "
+        "barrier — only imperative bodies call schedule()");
+  }
+  ctx_->schedule();
+}
+
+}  // namespace orwl

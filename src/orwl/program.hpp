@@ -1,0 +1,232 @@
+// The v2 program facade and its per-task view.
+//
+// orwl::Program wraps rt::Program and owns the typed link tables the
+// guards operate on. It runs in one of two modes:
+//
+//  - imperative (constructed directly): task bodies receive a Task& and
+//    do the classic init phase themselves — scale, typed read()/write()
+//    inserts, schedule() — exactly Listing 1 with types. This path also
+//    serves dynamic-insert workloads: read()/write() after schedule()
+//    become live inserts like v1 Handle inserts.
+//  - declarative (produced by ProgramBuilder): the task-location graph
+//    was declared before run(), the runtime already knows every access
+//    (dependency_get()/affinity_compute() work pre-run, no dry-run
+//    pass), and bodies start after the schedule barrier with their links
+//    ready for lookup (read_link()/write_link()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <typeinfo>
+#include <vector>
+
+#include "orwl/guards.hpp"
+#include "orwl/typed.hpp"
+#include "runtime/handle.hpp"
+#include "runtime/program.hpp"
+
+namespace orwl {
+
+class Task;
+class Program;
+class ProgramBuilder;
+
+/// Body of one task in the v2 surface.
+using TaskBody = std::function<void(Task&)>;
+
+/// Program construction options (the v1 options re-exported: affinity
+/// mode, data transfer, control threads/shards, topology, dry_run, ...).
+using Options = rt::ProgramOptions;
+
+class Program {
+ public:
+  /// Imperative-mode program: `num_tasks` tasks whose bodies run the
+  /// init phase themselves. locations_per_task comes from `opts` as in
+  /// v1. Declarative programs are created through ProgramBuilder.
+  explicit Program(std::size_t num_tasks, Options opts = {});
+
+  Program(Program&&) noexcept = default;
+  Program& operator=(Program&&) noexcept = default;
+
+  /// Same body for every task (SPMD), or per task.
+  void set_task_body(TaskBody fn);
+  void set_task_body(TaskId id, TaskBody fn);
+
+  /// Spawn one thread per task, run all bodies to completion, join.
+  /// Rethrows the first task exception, if any.
+  void run();
+
+  // ---- introspection ------------------------------------------------------
+  std::size_t num_tasks() const noexcept { return rt_->num_tasks(); }
+  bool declarative() const noexcept { return declarative_; }
+  const topo::Topology& topology() const noexcept { return rt_->topology(); }
+  const rt::ProgramStats& stats() const noexcept { return rt_->stats(); }
+
+  /// Iterations declared for `id` via TaskSpec::iterates (0 undeclared).
+  std::size_t iterations_of(TaskId id) const;
+
+  rt::Location& location(LocRef r) { return rt_->location(r.task, r.slot); }
+
+  /// Host-side typed view of a location (init/inspection; see Local).
+  template <typename T>
+  Local<T> local(LocRef r) {
+    return Local<T>(location(r));
+  }
+
+  // ---- the advanced affinity API (Sec. IV-B), v2 names --------------------
+  // For a declarative program these work before run(): the graph was
+  // registered at build() time, so the matrix and the placement can be
+  // inspected without executing a single task body.
+  void dependency_get() { rt_->dependency_get(); }
+  void affinity_compute() { rt_->affinity_compute(); }
+  void affinity_set() { rt_->affinity_set(); }
+  const tm::CommMatrix& comm_matrix() const { return rt_->comm_matrix(); }
+  const tm::Placement& placement() const { return rt_->placement(); }
+
+  /// The wrapped v1 runtime — the escape hatch for surfaces the facade
+  /// does not (yet) type, and for tests that inspect runtime state.
+  rt::Program& runtime() noexcept { return *rt_; }
+  const rt::Program& runtime() const noexcept { return *rt_; }
+
+ private:
+  friend class Task;
+  friend class ProgramBuilder;
+
+  /// One pre-declared link: where it points, how, with which element
+  /// type (null = declared untyped, matches any element type), and the
+  /// runtime handle that will carry the ticket.
+  struct DeclaredLink {
+    LocRef target;
+    AccessMode mode = AccessMode::Read;
+    const std::type_info* type = nullptr;
+    std::unique_ptr<rt::Handle2> handle;
+  };
+
+  /// Declarative-mode lookup used by Task::read_link/write_link.
+  rt::Handle& declared_handle(TaskId task, LocRef target, AccessMode mode,
+                              const std::type_info* type);
+
+  std::unique_ptr<rt::Program> rt_;
+  bool declarative_ = false;
+  std::vector<std::vector<DeclaredLink>> links_;  // per task, build order
+  std::vector<std::size_t> iterations_;           // per task, 0 undeclared
+  std::vector<TaskBody> init_;                    // declarative init phase
+  std::vector<TaskBody> bodies_;
+};
+
+/// Per-task view of a v2 program — the argument of every task body.
+/// Links created imperatively are owned by the Task (they live for the
+/// body's duration, like v1 stack handles); declared links live in the
+/// program and are looked up by (location, mode, element type).
+class Task {
+ public:
+  TaskId id() const noexcept { return ctx_->id(); }  ///< orwl_mytid
+  std::size_t num_tasks() const noexcept { return ctx_->num_tasks(); }
+  Program& program() noexcept { return *prog_; }
+
+  /// Coordinates of this task's own location `slot`.
+  LocRef mine(std::size_t slot = 0) const noexcept {
+    return LocRef{ctx_->id(), slot};
+  }
+
+  /// Typed view of any location; my<T>(slot) for the task's own.
+  template <typename T>
+  Local<T> local(LocRef r) {
+    return prog_->local<T>(r);
+  }
+  template <typename T>
+  Local<T> my(std::size_t slot = 0) {
+    return local<T>(mine(slot));
+  }
+
+  // ---- imperative init phase (and live inserts after schedule) -----------
+
+  /// orwl_write_insert, typed: link this task to `r` with exclusive
+  /// access. Before schedule() this is an init-phase insert; afterwards
+  /// a live (dynamic-mode) insert. The returned token stays valid for
+  /// the rest of the body.
+  template <typename T>
+  WriteLink<T> write(LocRef r, std::uint64_t priority) {
+    rt::Handle2& h = make_handle();
+    h.write_insert(*ctx_, prog_->location(r), priority);
+    return WriteLink<T>(h);
+  }
+
+  /// orwl_read_insert, typed (readers at the FIFO head share the grant).
+  template <typename T>
+  ReadLink<T> read(LocRef r, std::uint64_t priority) {
+    rt::Handle2& h = make_handle();
+    h.read_insert(*ctx_, prog_->location(r), priority);
+    return ReadLink<T>(h);
+  }
+
+  // ---- declarative link lookup -------------------------------------------
+
+  /// The link declared with TaskSpec::writes on `r` for this task.
+  /// The full declared type must match — `T[]` and `T` are different
+  /// shapes on purpose, so a scalar lookup cannot silently alias an
+  /// array location's first element.
+  /// \throws std::logic_error when the program is imperative, no such
+  ///         declaration exists, or the declared type differs.
+  template <typename T>
+  WriteLink<T> write_link(LocRef r) {
+    return WriteLink<T>(
+        prog_->declared_handle(id(), r, AccessMode::Write, &typeid(T)));
+  }
+
+  /// The link declared with TaskSpec::reads on `r` for this task.
+  template <typename T>
+  ReadLink<T> read_link(LocRef r) {
+    return ReadLink<T>(
+        prog_->declared_handle(id(), r, AccessMode::Read, &typeid(T)));
+  }
+
+  // ---- phases -------------------------------------------------------------
+
+  /// orwl_schedule (imperative mode only: declarative bodies start after
+  /// the barrier, so calling this from one is an error).
+  void schedule();
+
+  /// True when the program only extracts the graph; imperative bodies
+  /// should return right after schedule() in that case.
+  bool dry_run() const noexcept { return ctx_->dry_run(); }
+
+  /// Iteration count declared via TaskSpec::iterates (0 undeclared).
+  std::size_t iterations() const { return prog_->iterations_of(id()); }
+
+  /// The iteration driver: run `body(iter)` k times — the Handle2
+  /// re-insert cycle keeps all links synchronized between iterations, so
+  /// this replaces the hand-rolled per-iteration loops. No-op in
+  /// dry-run programs.
+  template <typename F>
+  void run_iterations(std::size_t k, F&& body) {
+    if (dry_run()) return;
+    for (std::size_t i = 0; i < k; ++i) body(i);
+  }
+
+  /// Iteration driver over the declared iterates(n) count.
+  template <typename F>
+  void run_iterations(F&& body) {
+    run_iterations(iterations(), std::forward<F>(body));
+  }
+
+  /// The wrapped v1 context — escape hatch for rt:: interop (FIFO
+  /// channels, raw handles).
+  rt::TaskContext& context() noexcept { return *ctx_; }
+
+ private:
+  friend class Program;
+  Task(Program& p, rt::TaskContext& ctx) : prog_(&p), ctx_(&ctx) {}
+
+  rt::Handle2& make_handle() {
+    owned_.push_back(std::make_unique<rt::Handle2>());
+    return *owned_.back();
+  }
+
+  Program* prog_;
+  rt::TaskContext* ctx_;
+  std::vector<std::unique_ptr<rt::Handle2>> owned_;
+};
+
+}  // namespace orwl

@@ -1,6 +1,23 @@
 #include "runtime/handle.hpp"
 
+#include <atomic>
+
 namespace orwl::rt {
+
+namespace {
+
+/// Process-wide count of swallowed teardown releases (see
+/// guard_teardown_failures in the header).
+std::atomic<std::uint64_t>& teardown_failure_counter() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t guard_teardown_failures() noexcept {
+  return teardown_failure_counter().load(std::memory_order_relaxed);
+}
 
 void Handle::insert(TaskContext& ctx, Location& loc, AccessMode mode,
                     std::uint64_t priority) {
@@ -53,6 +70,19 @@ void Handle::release() {
     ticket_ = 0;
   }
   acquired_ = false;
+}
+
+void Handle::release_for_teardown() noexcept {
+  if (!acquired_) return;  // double release through a guard is legal
+  try {
+    release();
+  } catch (...) {
+    // A destructor must not throw; record the failure so tests and
+    // operators can still see that a teardown went wrong.
+    teardown_failure_counter().fetch_add(1, std::memory_order_relaxed);
+    if (prog_ != nullptr) prog_->note_teardown_failure();
+    acquired_ = false;  // the grant state is unknown; do not retry
+  }
 }
 
 std::span<std::byte> Handle::write_map() {

@@ -50,6 +50,15 @@ class Handle {
   /// \throws std::logic_error when nothing is acquired.
   void release();
 
+  /// Guard-teardown variant of release(): never throws. Releasing a
+  /// handle that is not acquired is a no-op (so a guard whose lock was
+  /// released early tears down cleanly), and a release that would have
+  /// thrown is swallowed and recorded — on the owning program's
+  /// guard_teardown_failures() counter and the global
+  /// rt::guard_teardown_failures(). This is what `~Section` and the v2
+  /// facade's guard destructors call: destructors must not throw.
+  void release_for_teardown() noexcept;
+
   bool linked() const noexcept { return loc_ != nullptr; }
   bool acquired() const noexcept { return acquired_; }
   bool iterative() const noexcept { return iterative_; }
@@ -99,16 +108,29 @@ class Handle2 : public Handle {
   Handle2() { iterative_ = true; }
 };
 
+/// Number of guard teardowns (Section / v2 guard destructors) that had to
+/// swallow a throwing release since process start. A non-zero value means
+/// a protocol error surfaced during stack unwinding and was recorded
+/// instead of terminating the program.
+std::uint64_t guard_teardown_failures() noexcept;
+
 /// ORWL_SECTION as RAII: acquires on construction, releases on scope exit.
+/// Teardown is noexcept: a handle already released (double release) is a
+/// no-op, and a throwing release is swallowed and counted (see
+/// guard_teardown_failures).
 ///
 ///   Section sec(handle);
 ///   double* v = sec.as<double>();
 class Section {
  public:
   explicit Section(Handle& h) : h_(&h) { h_->acquire(); }
-  ~Section() { h_->release(); }
+  ~Section() { h_->release_for_teardown(); }
   Section(const Section&) = delete;
   Section& operator=(const Section&) = delete;
+
+  /// Release the lock before scope exit; the destructor then does
+  /// nothing. Throws like Handle::release on protocol misuse.
+  void release() { h_->release(); }
 
   std::span<std::byte> write_map() { return h_->write_map(); }
   std::span<const std::byte> read_map() { return h_->read_map(); }

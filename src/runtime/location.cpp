@@ -1,5 +1,9 @@
 #include "runtime/location.hpp"
 
+#include <algorithm>
+
+#include "support/env.hpp"
+
 namespace orwl::rt {
 
 const char* to_string(DataTransferPolicy p) noexcept {
@@ -9,6 +13,18 @@ const char* to_string(DataTransferPolicy p) noexcept {
     case DataTransferPolicy::Adaptive: return "adaptive";
   }
   return "?";
+}
+
+void Location::scale(std::size_t bytes) {
+  // ORWL_HUGEPAGES=1 requests MAP_HUGETLB storage for buffers that fill
+  // at least one huge page (the matmul/dgemm-class locations the TLB
+  // pressure comes from); MemBind falls back to normal pages when the
+  // host has no hugetlb pool.
+  const std::size_t huge = topo::MemBind::huge_page_size();
+  buf_.set_huge_pages(huge > 0 && bytes >= huge &&
+                      support::env_bool(topo::kHugePagesEnvVar, false));
+  buf_.resize(bytes);
+  size_ = bytes;
 }
 
 void Location::bind_home(int node) {
@@ -23,10 +39,38 @@ void Location::bind_home(int node) {
   }
   buf_.bind_to(node);
   if (old_home != node) {
-    // The placement moved: writer nodes recorded under the old placement
-    // are stale, so the adaptive history restarts from scratch.
-    last_writer_node_.store(-1, std::memory_order_release);
-    prev_writer_node_.store(-1, std::memory_order_release);
+    // The placement moved: writer streaks recorded under the old
+    // placement are stale, so the adaptive history restarts from scratch.
+    writer_streak_.store(pack_streak(-1, 0), std::memory_order_release);
+  }
+}
+
+void Location::note_writer_node(int node) noexcept {
+  if (node < 0) return;  // unplaced writer: no evidence either way
+  // Writers are serialized by the lock protocol, but bind_home() resets
+  // the streak concurrently on re-placement — a plain store here could
+  // overwrite that reset with history from the old placement, so the
+  // update is a CAS loop that rebuilds from whatever it raced with.
+  std::uint64_t cur = writer_streak_.load(std::memory_order_acquire);
+  for (;;) {
+    int streak = streak_node(cur);
+    std::uint32_t count = streak_count(cur);
+    if (node == streak) {
+      // Saturate so a long-settled phase cannot build unbounded decay
+      // debt: switching away after saturation takes at most
+      // log2(2K) + K grants.
+      count = std::min(count + 1, 2 * hysteresis_);
+    } else if (count > 1) {
+      count /= 2;  // decay toward switching, but keep the incumbent node
+    } else {
+      streak = node;
+      count = 1;
+    }
+    if (writer_streak_.compare_exchange_weak(cur, pack_streak(streak, count),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      return;
+    }
   }
 }
 
@@ -34,19 +78,21 @@ void Location::before_grant() noexcept {
   if (policy_ == DataTransferPolicy::Off) return;
   int target = home_node_.load(std::memory_order_acquire);
   if (policy_ == DataTransferPolicy::Adaptive) {
-    // Follow the writers: when the last two granted writers ran on the
-    // same node, the producer lives there — move the pages next to it
-    // before waking the next grantee. An inconsistent history (a one-off
-    // remote writer between settled phases) is noise: keep whatever
-    // binding is in place rather than bouncing the pages back to the
-    // home node and out again two grants later. Only a location that has
-    // never seen a writer falls back to the owner binding.
-    const int last = last_writer_node_.load(std::memory_order_acquire);
-    const int prev = prev_writer_node_.load(std::memory_order_acquire);
-    if (last >= 0 && last == prev) {
-      target = last;
-    } else if (last >= 0 || prev >= 0) {
-      return;  // writers seen but unsettled: leave the pages alone
+    // Follow the writers: only a streak of K consecutive granted writers
+    // on one node is evidence the producer settled there — then move the
+    // pages next to it before waking the next grantee. A shorter streak
+    // (one-off remote writers, ping-ponging writer sets) is noise: keep
+    // whatever binding is in place rather than bouncing the pages back
+    // to the home node and out again a few grants later. Only a location
+    // that has never seen a placed writer falls back to the owner
+    // binding.
+    const std::uint64_t s = writer_streak_.load(std::memory_order_acquire);
+    const int node = streak_node(s);
+    const std::uint32_t count = streak_count(s);
+    if (node >= 0 && count >= hysteresis_) {
+      target = node;
+    } else if (count > 0) {
+      return;  // writers seen but streak below threshold: leave alone
     }
   }
   if (target < 0 || buf_.node() == target) return;

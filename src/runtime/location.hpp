@@ -40,6 +40,13 @@ const char* to_string(DataTransferPolicy p) noexcept;
 /// "off", "owner" and "adaptive" (default: owner).
 inline constexpr const char* kDataTransferEnvVar = "ORWL_DATA_TRANSFER";
 
+/// Environment override for the adaptive policy's migration hysteresis:
+/// the buffer follows the writers only after K consecutive granted
+/// writers on the same non-buffer node (default 2). Higher values resist
+/// ping-ponging workloads; 1 chases every writer.
+inline constexpr const char* kDataTransferHysteresisEnvVar =
+    "ORWL_DATA_TRANSFER_HYSTERESIS";
+
 class Location : private GrantHook {
  public:
   /// \param id    Global location id (owner * locations_per_task + slot).
@@ -57,12 +64,11 @@ class Location : private GrantHook {
 
   /// "Scale our own location(s) to the appropriate size" (Listing 1).
   /// (Re)allocates the backing buffer on the location's bound NUMA node;
-  /// contents are zero-initialized.
+  /// contents are zero-initialized. With ORWL_HUGEPAGES=1 a buffer of at
+  /// least one huge page is backed by MAP_HUGETLB storage when the host
+  /// provides it (transparent fallback to normal pages otherwise).
   /// \param bytes New size of the buffer.
-  void scale(std::size_t bytes) {
-    buf_.resize(bytes);
-    size_ = bytes;
-  }
+  void scale(std::size_t bytes);
 
   /// Record the size without allocating the buffer. Used by dry-run graph
   /// extraction (the communication matrix needs only the size, and paper-
@@ -130,14 +136,22 @@ class Location : private GrantHook {
 
   /// Record the NUMA node a granted writer ran on (called by Handle at
   /// write release; writers are exclusive, so calls are serialized by the
-  /// lock protocol itself). Feeds the adaptive policy. -1 entries
-  /// (unplaced writers) are kept but never chosen as a target.
+  /// lock protocol itself). Feeds the adaptive policy's decaying streak
+  /// counter: a writer on the streak node lengthens it (saturating at
+  /// twice the hysteresis threshold), a writer elsewhere halves it, and
+  /// the streak switches node only once the count has decayed to 1 — so
+  /// a ping-ponging writer set never builds up enough evidence to
+  /// migrate. Unplaced writers (node < 0) are ignored.
   /// \param node Topology NUMA-node index of the releasing writer.
-  void note_writer_node(int node) noexcept {
-    prev_writer_node_.store(
-        last_writer_node_.exchange(node, std::memory_order_acq_rel),
-        std::memory_order_release);
+  void note_writer_node(int node) noexcept;
+
+  /// Consecutive-writer threshold of the adaptive policy (K in the
+  /// ORWL_DATA_TRANSFER_HYSTERESIS contract). Not thread-safe; the
+  /// Program configures it before concurrent use. 0 is clamped to 1.
+  void set_transfer_hysteresis(std::uint32_t k) noexcept {
+    hysteresis_ = k == 0 ? 1 : k;
   }
+  std::uint32_t transfer_hysteresis() const noexcept { return hysteresis_; }
 
   /// Grant-time migrations performed for this location (owner fix-ups and
   /// adaptive follow-the-writer moves; the initial bind_home is counted
@@ -158,10 +172,26 @@ class Location : private GrantHook {
   topo::NumaBuffer buf_;
   RequestQueue queue_;
 
+  /// One atomic word for the adaptive writer streak, so the control
+  /// thread reads node and count coherently: node in the high 32 bits
+  /// (as int32), streak length in the low 32.
+  static constexpr std::uint64_t pack_streak(int node,
+                                             std::uint32_t count) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+            << 32) |
+           count;
+  }
+  static constexpr int streak_node(std::uint64_t s) noexcept {
+    return static_cast<int>(static_cast<std::uint32_t>(s >> 32));
+  }
+  static constexpr std::uint32_t streak_count(std::uint64_t s) noexcept {
+    return static_cast<std::uint32_t>(s);
+  }
+
   DataTransferPolicy policy_ = DataTransferPolicy::Off;
+  std::uint32_t hysteresis_ = 2;
   std::atomic<int> home_node_{-1};
-  std::atomic<int> last_writer_node_{-1};
-  std::atomic<int> prev_writer_node_{-1};
+  std::atomic<std::uint64_t> writer_streak_{pack_streak(-1, 0)};
   std::atomic<std::uint64_t> transfers_{0};
 };
 

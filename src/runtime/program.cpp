@@ -31,6 +31,12 @@ DataTransferPolicy resolve_data_transfer(DataTransferMode mode) {
   return DataTransferPolicy::Owner;
 }
 
+std::size_t resolve_transfer_hysteresis(std::size_t from_options) {
+  if (from_options != 0) return from_options;
+  const long env = support::env_long(kDataTransferHysteresisEnvVar, -1);
+  return env > 0 ? static_cast<std::size_t>(env) : 2;
+}
+
 }  // namespace
 
 Program::Program(std::size_t num_tasks, ProgramOptions opts)
@@ -76,6 +82,8 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   stats_.control_shards = control_->num_shards();
 
   data_policy_ = resolve_data_transfer(opts_.data_transfer);
+  const std::size_t hysteresis =
+      resolve_transfer_hysteresis(opts_.data_transfer_hysteresis);
   task_node_ = std::make_unique<std::atomic<int>[]>(num_tasks_);
   for (TaskId t = 0; t < num_tasks_; ++t) {
     task_node_[t].store(-1, std::memory_order_relaxed);
@@ -94,6 +102,8 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
       locations_.back()->queue().set_control_shard(
           t % control_->num_shards());
       locations_.back()->set_data_transfer(data_policy_);
+      locations_.back()->set_transfer_hysteresis(
+          static_cast<std::uint32_t>(hysteresis));
       if (data_policy_ != DataTransferPolicy::Off) {
         // Grant-time data transfer: the control thread serving this
         // location's shard migrates the buffer before waking a grantee.
@@ -139,6 +149,30 @@ Location& Program::location(TaskId task, std::size_t slot) {
 const TaskGraph& Program::graph() const {
   std::unique_lock lock(graph_mu_);
   return graph_;
+}
+
+void Program::declare_insert(TaskId task, Location& loc, AccessMode mode,
+                             std::uint64_t priority, Handle& handle) {
+  if (task >= num_tasks_) {
+    throw std::out_of_range("declare_insert: bad task id");
+  }
+  if (handle.linked()) {
+    throw std::logic_error("declare_insert: handle already linked");
+  }
+  std::unique_lock lock(graph_mu_);
+  if (scheduled_) {
+    throw std::logic_error(
+        "declare_insert: program already scheduled (late links must be "
+        "inserted from the owning task's body)");
+  }
+  // The fields Handle::insert would set from a TaskContext; declarative
+  // links have no context yet — the builder registers them up front.
+  handle.loc_ = &loc;
+  handle.prog_ = this;
+  handle.task_ = task;
+  handle.mode_ = mode;
+  pending_.push_back(PendingInsert{loc.id(), mode, priority, task,
+                                   insert_seq_[task]++, &handle});
 }
 
 void Program::register_insert(TaskId task, Location& loc, AccessMode mode,
@@ -233,7 +267,23 @@ void Program::dependency_get() {
   tm::CommMatrix m;
   {
     std::unique_lock lock(graph_mu_);
-    m = aff::comm_matrix_from_graph(graph_);
+    if (!scheduled_ && !pending_.empty()) {
+      // Pre-run extraction for declaratively wired programs: the graph
+      // itself stays frozen-at-schedule, but the matrix can already be
+      // computed from the declared accesses and the current location
+      // sizes — this is what removes the dry-run double execution.
+      TaskGraph declared = graph_;
+      for (std::size_t i = 0; i < locations_.size(); ++i) {
+        declared.locations[i].bytes = locations_[i]->size();
+      }
+      for (const PendingInsert& p : pending_) {
+        declared.locations[p.loc].accesses.push_back(
+            Access{p.task, p.mode, p.priority});
+      }
+      m = aff::comm_matrix_from_graph(declared);
+    } else {
+      m = aff::comm_matrix_from_graph(graph_);
+    }
   }
   std::unique_lock lock(place_mu_);
   matrix_ = std::move(m);
@@ -453,6 +503,8 @@ void Program::run() {
   std::uint64_t transfers = 0;
   for (const auto& loc : locations_) transfers += loc->data_transfers();
   stats_.data_transfers = transfers;
+  stats_.guard_teardown_failures =
+      teardown_failures_.load(std::memory_order_relaxed);
 
   if (first_error) std::rethrow_exception(first_error);
 }

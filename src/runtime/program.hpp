@@ -92,6 +92,12 @@ struct ProgramOptions {
   /// When true, tasks should return right after schedule(); used to
   /// extract the communication graph without running the compute phase.
   bool dry_run = false;
+
+  /// Grant streak length after which the adaptive data-transfer policy
+  /// migrates a buffer toward a remote writer node (K consecutive
+  /// granted writers on the same non-buffer node). 0 = follow
+  /// ORWL_DATA_TRANSFER_HYSTERESIS (default 2).
+  std::size_t data_transfer_hysteresis = 0;
 };
 
 struct ProgramStats {
@@ -106,6 +112,10 @@ struct ProgramStats {
   std::size_t compute_threads_bound = 0;
   std::size_t control_threads_bound = 0;
   std::size_t bind_failures = 0;
+  /// Guard teardowns of this program's handles that had to swallow a
+  /// throwing release (see rt::guard_teardown_failures; snapshot taken
+  /// at the end of run()).
+  std::uint64_t guard_teardown_failures = 0;
   bool affinity_applied = false;
   /// Algorithm 1 could not run (e.g. asymmetric host topology) and the
   /// module fell back to the compact-cores placement.
@@ -163,12 +173,33 @@ class Program {
   /// Frozen at schedule(); live inserts afterwards keep appending to it.
   const TaskGraph& graph() const;
 
+  // ---- declarative pre-registration (the v2 facade hook) ------------------
+
+  /// Link `handle` to `loc` for `task` *before* run(): the access enters
+  /// the task-location graph immediately, so dependency_get() /
+  /// affinity_compute() work without executing any task body (no dry-run
+  /// pass). The handle receives its ticket at the schedule barrier like
+  /// a body-inserted one; it must outlive the program's run().
+  /// Used by orwl::ProgramBuilder; task bodies keep using Handle inserts.
+  /// \throws std::logic_error when the handle is linked or the program
+  ///         already scheduled; std::out_of_range for a bad task id.
+  void declare_insert(TaskId task, Location& loc, AccessMode mode,
+                      std::uint64_t priority, Handle& handle);
+
+  /// Live count of swallowed guard-teardown releases on this program's
+  /// handles (also snapshotted into stats() at the end of run()).
+  std::uint64_t guard_teardown_failures() const noexcept {
+    return teardown_failures_.load(std::memory_order_relaxed);
+  }
+
   // ---- the advanced affinity API (Sec. IV-B) ------------------------------
   // "None of the functions of that API take parameters or return values,
   // they only change the internal state of the ORWL runtime."
 
   /// orwl_dependency_get: (re)compute the communication matrix from the
-  /// current task-location graph.
+  /// current task-location graph. Before schedule() the matrix is built
+  /// from the declared (pending) accesses, so a declaratively wired
+  /// program can extract its graph without a dry-run execution.
   void dependency_get();
 
   /// orwl_affinity_compute: (re)run Algorithm 1 on the current matrix.
@@ -198,6 +229,11 @@ class Program {
   /// Called by Handle inserts before schedule; enqueues live afterwards.
   void register_insert(TaskId task, Location& loc, AccessMode mode,
                        std::uint64_t priority, Handle* handle);
+
+  /// Called by Handle::release_for_teardown when a guard had to swallow.
+  void note_teardown_failure() noexcept {
+    teardown_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// The orwl_schedule barrier.
   void schedule_barrier(TaskId tid);
@@ -282,6 +318,7 @@ class Program {
   std::vector<std::thread::native_handle_type> task_handles_;
   std::vector<std::thread> threads_;
 
+  std::atomic<std::uint64_t> teardown_failures_{0};
   ProgramStats stats_;
 };
 

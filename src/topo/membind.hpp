@@ -35,6 +35,13 @@ namespace orwl::topo {
 /// host.
 inline constexpr const char* kMemBindEnvVar = "ORWL_MEMBIND";
 
+/// Environment switch for huge-page location buffers (`0`/`1`, default
+/// off): when set, Location::scale requests MAP_HUGETLB storage for
+/// buffers of at least one huge page. Allocation falls back to normal
+/// pages transparently when the host has no hugetlb pool (or on
+/// non-Linux hosts), so enabling it is always safe.
+inline constexpr const char* kHugePagesEnvVar = "ORWL_HUGEPAGES";
+
 /// A page-granular memory area with an intended NUMA node.
 ///
 /// The low-level primitive: one anonymous mapping (or heap block in
@@ -61,11 +68,20 @@ class MemBind {
   /// \param node   Target NUMA node, or kAnyNode for no binding. Nodes
   ///               that do not exist on the host (fixture topologies) are
   ///               recorded but not physically bound.
+  /// \param huge   Request MAP_HUGETLB backing (rounded up to whole huge
+  ///               pages). Ignored — with a transparent fallback to the
+  ///               normal path — when the host has no hugetlb pool, the
+  ///               size is below one huge page, or emulation is forced.
   /// \return The new area. Never throws for allocation-policy reasons:
   ///         when mmap or mbind is unavailable the portable heap fallback
   ///         is used. Throws std::bad_alloc only when memory itself is
   ///         exhausted.
-  static MemBind allocate(std::size_t bytes, int node = kAnyNode);
+  static MemBind allocate(std::size_t bytes, int node = kAnyNode,
+                          bool huge = false);
+
+  /// True when the area is backed by hugetlb pages (the request was
+  /// honored, not just made).
+  bool huge_pages() const noexcept { return huge_; }
 
   /// Start of the area; nullptr when empty.
   std::byte* data() const noexcept { return ptr_; }
@@ -142,6 +158,10 @@ class MemBind {
   /// Page size used for rounding and residency queries.
   static std::size_t page_size() noexcept;
 
+  /// Default huge page size of the host (/proc/meminfo Hugepagesize),
+  /// or 0 when the host has none / is not Linux.
+  static std::size_t huge_page_size() noexcept;
+
  private:
   std::byte* ptr_ = nullptr;
   std::size_t bytes_ = 0;
@@ -149,6 +169,7 @@ class MemBind {
   std::size_t mapped_ = 0;  ///< page-rounded mmap length; 0 => heap block
   int node_ = kAnyNode;     ///< intended node
   bool real_bind_ = false;  ///< pages were physically bound/migrated
+  bool huge_ = false;       ///< hugetlb-backed mapping
 };
 
 /// NUMA node of a processing unit *inside a given topology* — the fixture
@@ -185,6 +206,15 @@ class NumaBuffer {
   /// Drop the storage (size() becomes 0, data() nullptr) but keep the
   /// node binding for a later resize. Used by size-only dry-run scaling.
   void reset() noexcept;
+
+  /// Request (or stop requesting) huge-page backing for subsequent
+  /// (re)allocations; live storage is not re-backed until the next
+  /// resize that cannot reuse it. The request is remembered even when
+  /// the host cannot honor it, so flipping the flag is always cheap.
+  void set_huge_pages(bool on);
+
+  /// True when the *current* storage is hugetlb-backed (request honored).
+  bool huge_pages() const;
 
   /// Start of the buffer; nullptr when empty (e.g. after reset()).
   std::byte* data() const noexcept {
@@ -224,6 +254,8 @@ class NumaBuffer {
  private:
   mutable std::mutex mu_;  ///< serializes structural ops and migration
   MemBind mem_;
+  bool huge_req_ = false;    ///< huge pages requested for new storage
+  bool alloc_huge_ = false;  ///< request in effect for current storage
   std::atomic<std::byte*> data_{nullptr};
   std::atomic<std::size_t> size_{0};
   std::atomic<int> node_{MemBind::kAnyNode};

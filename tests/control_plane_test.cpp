@@ -7,8 +7,7 @@
 #include <thread>
 #include <vector>
 
-#include "runtime/control_plane.hpp"
-#include "runtime/request_queue.hpp"
+#include "orwl/orwl.hpp"
 #include "topo/machines.hpp"
 #include "topo/shard.hpp"
 #include "treematch/treematch.hpp"

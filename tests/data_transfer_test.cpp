@@ -8,9 +8,7 @@
 #include <atomic>
 #include <thread>
 
-#include "runtime/control_plane.hpp"
-#include "runtime/handle.hpp"
-#include "runtime/program.hpp"
+#include "orwl/orwl.hpp"
 #include "support/env.hpp"
 #include "topo/machines.hpp"
 #include "topo/membind.hpp"
@@ -104,6 +102,23 @@ TEST(ScaleHint, DryRunProgramExtractsSizesWithoutAllocating) {
     EXPECT_EQ(prog.graph().locations[t].bytes, 8u << 20);
     EXPECT_EQ(prog.location(t).data(), nullptr);
   }
+}
+
+TEST(ScaleHint, HugePagesEnvRequestsHugeBacking) {
+  // ORWL_HUGEPAGES=1 routes large scales through the MAP_HUGETLB lane
+  // (with transparent fallback — CI hosts have no hugetlb pool, so the
+  // observable contract here is "usable zeroed buffer either way").
+  support::ScopedEnv huge(topo::kHugePagesEnvVar, "1");
+  rt::Location loc(0, 0, 0);
+  const std::size_t hps = topo::MemBind::huge_page_size();
+  const std::size_t bytes = hps > 0 ? hps : 1 << 20;
+  loc.scale(bytes);
+  ASSERT_NE(loc.data(), nullptr);
+  EXPECT_EQ(loc.size(), bytes);
+  EXPECT_EQ(loc.data()[0], std::byte{0});
+  // Small locations never use huge pages, env or not.
+  loc.scale(64);
+  EXPECT_FALSE(loc.buffer().huge_pages());
 }
 
 // ------------------------------------------------------ owner binding ----
@@ -322,6 +337,103 @@ TEST(DataTransfer, AdaptiveIgnoresASingleRemoteWriter) {
   h.drive_hand_off();
   EXPECT_EQ(h.loc.memory_node(), 0) << "a single remote writer must not move"
                                        " the buffer off its home node";
+}
+
+TEST(DataTransfer, AdaptivePingPongWritersNeverMigrate) {
+  // The decaying streak counter is the ping-pong defense: writers
+  // alternating between two nodes never accumulate K consecutive grants
+  // on one node, so the buffer stays parked on its home node instead of
+  // bouncing with every phase.
+  support::ScopedEnv emu(topo::kMemBindEnvVar, "emulate");
+  GrantHarness h(rt::DataTransferPolicy::Adaptive);
+  h.loc.scale(1 << 14);
+  h.loc.bind_home(0);
+  for (int round = 0; round < 8; ++round) {
+    h.loc.note_writer_node(1 + round % 2);  // 1, 2, 1, 2, ...
+    h.drive_hand_off();
+    ASSERT_EQ(h.loc.memory_node(), 0) << "round " << round;
+  }
+  EXPECT_EQ(h.loc.data_transfers(), 0u);
+}
+
+TEST(DataTransfer, AdaptiveHysteresisThresholdIsConfigurable) {
+  support::ScopedEnv emu(topo::kMemBindEnvVar, "emulate");
+  {
+    // K = 1: chase every placed writer immediately.
+    GrantHarness h(rt::DataTransferPolicy::Adaptive);
+    h.loc.set_transfer_hysteresis(1);
+    h.loc.scale(1 << 14);
+    h.loc.bind_home(0);
+    h.loc.note_writer_node(1);
+    h.drive_hand_off();
+    EXPECT_EQ(h.loc.memory_node(), 1);
+  }
+  {
+    // K = 3: two consecutive remote writers are still not enough.
+    GrantHarness h(rt::DataTransferPolicy::Adaptive);
+    h.loc.set_transfer_hysteresis(3);
+    h.loc.scale(1 << 14);
+    h.loc.bind_home(0);
+    h.loc.note_writer_node(1);
+    h.loc.note_writer_node(1);
+    h.drive_hand_off();
+    EXPECT_EQ(h.loc.memory_node(), 0);
+    h.loc.note_writer_node(1);  // third consecutive: migrate
+    h.drive_hand_off();
+    EXPECT_EQ(h.loc.memory_node(), 1);
+  }
+}
+
+TEST(DataTransfer, AdaptiveSettledPhaseSwitchesAfterDecay) {
+  // A long settled phase on node 1, then the writer set moves to node 2
+  // for good: the saturated streak must decay away and the buffer follow
+  // the new phase after a bounded number of grants (no sticky-forever).
+  support::ScopedEnv emu(topo::kMemBindEnvVar, "emulate");
+  GrantHarness h(rt::DataTransferPolicy::Adaptive);
+  h.loc.scale(1 << 14);
+  h.loc.bind_home(0);
+  for (int i = 0; i < 10; ++i) h.loc.note_writer_node(1);
+  h.drive_hand_off();
+  ASSERT_EQ(h.loc.memory_node(), 1);
+  int moved_after = -1;
+  for (int i = 0; i < 10; ++i) {
+    h.loc.note_writer_node(2);
+    h.drive_hand_off();
+    if (h.loc.memory_node() == 2) {
+      moved_after = i + 1;
+      break;
+    }
+  }
+  EXPECT_GT(moved_after, 2) << "a phase switch needs more evidence than "
+                               "the hysteresis threshold alone";
+  EXPECT_LE(moved_after, 6) << "the streak must decay within log2(cap)+K "
+                               "grants";
+}
+
+TEST(DataTransfer, HysteresisResolvedFromOptionsAndEnv) {
+  const topo::Topology machine = topo::make_numa(2, 2, 1);
+  rt::ProgramOptions o;
+  o.topology = &machine;
+  o.affinity = rt::AffinityMode::Off;
+  {
+    support::ScopedEnv env(rt::kDataTransferHysteresisEnvVar, nullptr);
+    rt::Program prog(2, o);
+    EXPECT_EQ(prog.location(0).transfer_hysteresis(), 2u)
+        << "unset env must yield the default threshold";
+  }
+  {
+    support::ScopedEnv env(rt::kDataTransferHysteresisEnvVar, "5");
+    rt::Program prog(2, o);
+    EXPECT_EQ(prog.location(0).transfer_hysteresis(), 5u);
+  }
+  {
+    // Explicit options beat the environment.
+    support::ScopedEnv env(rt::kDataTransferHysteresisEnvVar, "5");
+    rt::ProgramOptions explicit_k = o;
+    explicit_k.data_transfer_hysteresis = 3;
+    rt::Program prog(2, explicit_k);
+    EXPECT_EQ(prog.location(0).transfer_hysteresis(), 3u);
+  }
 }
 
 TEST(DataTransfer, OwnerPolicyRestoresDriftedBuffers) {

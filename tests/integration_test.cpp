@@ -9,8 +9,7 @@
 #include "apps/lk23.hpp"
 #include "apps/matmul.hpp"
 #include "apps/workloads.hpp"
-#include "runtime/handle.hpp"
-#include "runtime/program.hpp"
+#include "orwl/orwl.hpp"
 #include "sim/simulator.hpp"
 #include "topo/machines.hpp"
 #include "topo/serialize.hpp"

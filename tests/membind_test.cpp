@@ -196,4 +196,60 @@ TEST(NumaBuffer, ResetKeepsTheBinding) {
   EXPECT_EQ(buf.node(), 2);
 }
 
+// ------------------------------------------------------- huge pages -----
+
+TEST(HugePages, RequestFallsBackTransparently) {
+  // Whatever the host provides — a hugetlb pool, none, or no Linux at
+  // all — a huge-page request must always yield a usable zeroed buffer;
+  // only the backing differs. (CI runners have no reserved hugepages, so
+  // this exercises exactly the fallback lane users hit by default.)
+  const std::size_t hps = MemBind::huge_page_size();
+  const std::size_t bytes =
+      hps > 0 ? hps + 128 : 4 * MemBind::page_size();
+  MemBind m = MemBind::allocate(bytes, MemBind::kAnyNode, /*huge=*/true);
+  ASSERT_NE(m.data(), nullptr);
+  EXPECT_EQ(m.size(), bytes);
+  for (std::size_t i = 0; i < bytes; i += 97) {
+    ASSERT_EQ(m.data()[i], std::byte{0}) << "byte " << i;
+  }
+  if (m.huge_pages()) {
+    // Honored requests round the capacity to whole huge pages.
+    EXPECT_GE(m.capacity(), hps);
+    EXPECT_EQ(m.capacity() % hps, 0u);
+    m.data()[bytes - 1] = std::byte{7};  // touch: must not SIGBUS
+  }
+}
+
+TEST(HugePages, SmallRequestsNeverUseHugePages) {
+  MemBind m = MemBind::allocate(64, MemBind::kAnyNode, /*huge=*/true);
+  EXPECT_FALSE(m.huge_pages()) << "sub-huge-page sizes stay on base pages";
+}
+
+TEST(HugePages, EmulationForcesTheFallback) {
+  orwl::support::ScopedEnv emu(orwl::topo::kMemBindEnvVar, "emulate");
+  const std::size_t hps = MemBind::huge_page_size();
+  MemBind m = MemBind::allocate(hps > 0 ? hps : 1 << 20,
+                                MemBind::kAnyNode, /*huge=*/true);
+  ASSERT_NE(m.data(), nullptr);
+  EXPECT_FALSE(m.huge_pages());
+}
+
+TEST(HugePages, NumaBufferFlagControlsReuseAndBinding) {
+  NumaBuffer buf;
+  buf.bind_to(1);
+  buf.resize(8192);
+  std::memset(buf.data(), 0x5a, 64);
+  // Flipping the request forces a reallocation (the request changed),
+  // keeps the sticky node, and re-zeroes like any resize.
+  buf.set_huge_pages(true);
+  buf.resize(8192);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(buf.node(), 1);
+  EXPECT_EQ(buf.data()[0], std::byte{0});
+  // With the request unchanged, storage is reused again.
+  std::byte* before = buf.data();
+  buf.resize(4096);
+  EXPECT_EQ(buf.data(), before);
+}
+
 }  // namespace

@@ -5,10 +5,7 @@
 #include <numeric>
 #include <set>
 
-#include "runtime/fifo.hpp"
-#include "runtime/handle.hpp"
-#include "runtime/program.hpp"
-#include "runtime/split.hpp"
+#include "orwl/orwl.hpp"
 #include "support/env.hpp"
 #include "topo/binding.hpp"
 #include "topo/machines.hpp"

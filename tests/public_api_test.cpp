@@ -1,0 +1,401 @@
+// The v2 facade (orwl/orwl.hpp): typed locations, phase-safe guards and
+// the declarative ProgramBuilder. Covers the acceptance contract of the
+// API redesign: a builder-declared graph produces the same communication
+// matrix and placement as the imperatively wired equivalent — without a
+// dry-run pass — and writing through a read link is a compile-time
+// error (checked with static_asserts below, the negative-compile tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "orwl/orwl.hpp"
+#include "topo/machines.hpp"
+
+namespace {
+
+using namespace orwl;
+
+// ------------------------------------------------- negative compiles ----
+// Phase safety lives in the type system: a WriteGuard is constructible
+// from a WriteLink only (and vice versa), so the "write through a read
+// link" bug class cannot compile.
+static_assert(!std::is_constructible_v<WriteGuard<double>, ReadLink<double>>,
+              "a WriteGuard over a read link must not compile");
+static_assert(
+    !std::is_constructible_v<WriteGuard<double[]>, ReadLink<double[]>>,
+    "a WriteGuard over a read array link must not compile");
+static_assert(!std::is_constructible_v<ReadGuard<double>, WriteLink<double>>,
+              "guards name their link's mode exactly");
+static_assert(!std::is_convertible_v<ReadLink<double>, WriteLink<double>>,
+              "read links must not convert to write links");
+static_assert(std::is_constructible_v<WriteGuard<double>, WriteLink<double>>);
+static_assert(std::is_constructible_v<ReadGuard<double>, ReadLink<double>>);
+
+rt::ProgramOptions quiet() {
+  rt::ProgramOptions o;
+  o.affinity = rt::AffinityMode::Off;
+  o.control_threads = 0;
+  o.acquire_timeout_ms = 30000;
+  return o;
+}
+
+rt::ProgramOptions fixture_opts(const topo::Topology& machine) {
+  rt::ProgramOptions o;
+  o.topology = &machine;
+  o.affinity = rt::AffinityMode::Off;  // placement driven explicitly
+  o.bind_threads = false;
+  o.control_threads = 2;
+  o.acquire_timeout_ms = 30000;
+  return o;
+}
+
+// The Listing 1 chain, declared: task t owns a double, writes it, task
+// t > 0 reads its predecessor's.
+ProgramBuilder chain_builder(std::size_t tasks, rt::ProgramOptions opts) {
+  ProgramBuilder b(tasks, opts);
+  for (TaskId t = 0; t < tasks; ++t) {
+    TaskSpec& spec = b.task(t);
+    spec.owns<double>().writes<double>(loc(t), t);
+    if (t > 0) spec.reads<double>(loc(t - 1), t);
+  }
+  return b;
+}
+
+// ------------------------------------------ builder vs imperative -------
+
+TEST(Builder, DeclaredGraphMatchesImperativeDryRun) {
+  const topo::Topology machine = topo::make_numa(2, 2, 1);
+  constexpr std::size_t kTasks = 4;
+
+  // Imperative v1-style wiring, extracted through a dry-run execution.
+  rt::ProgramOptions dry = fixture_opts(machine);
+  dry.dry_run = true;
+  rt::Program imperative(kTasks, dry);
+  imperative.set_task_body([](rt::TaskContext& ctx) {
+    ctx.scale(sizeof(double));
+    rt::Handle own;
+    rt::Handle prev;
+    own.write_insert(ctx, ctx.my_location(), ctx.id());
+    if (ctx.id() > 0) {
+      prev.read_insert(ctx, ctx.location(ctx.id() - 1), ctx.id());
+    }
+    ctx.schedule();
+  });
+  imperative.run();
+  imperative.dependency_get();
+  imperative.affinity_compute();
+
+  // The same graph declared: matrix and placement exist pre-run.
+  rt::ProgramOptions opts = fixture_opts(machine);
+  Program declared = chain_builder(kTasks, opts).build();
+  declared.dependency_get();
+  declared.affinity_compute();
+
+  const tm::CommMatrix& a = imperative.comm_matrix();
+  const tm::CommMatrix& b = declared.comm_matrix();
+  ASSERT_EQ(a.order(), b.order());
+  for (std::size_t i = 0; i < a.order(); ++i) {
+    for (std::size_t j = 0; j < a.order(); ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), b.at(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(imperative.placement().compute_pu,
+            declared.placement().compute_pu)
+      << "same matrix + same topology must place identically";
+}
+
+TEST(Builder, MatrixAvailableWithoutRunningAnything) {
+  rt::ProgramOptions opts = quiet();
+  opts.dry_run = true;  // sizes recorded, nothing allocated
+  Program p = chain_builder(3, opts).build();
+  p.dependency_get();
+  EXPECT_EQ(p.comm_matrix().order(), 3u);
+  EXPECT_DOUBLE_EQ(p.comm_matrix().at(0, 1), sizeof(double));
+  EXPECT_DOUBLE_EQ(p.comm_matrix().at(1, 2), sizeof(double));
+  EXPECT_DOUBLE_EQ(p.comm_matrix().at(0, 2), 0.0);
+  // Dry-declared locations were never allocated, and no body ran.
+  EXPECT_EQ(p.location(loc(0)).data(), nullptr);
+  EXPECT_FALSE(p.runtime().scheduled());
+}
+
+TEST(Builder, DeclarativeRunComputesAndInitHookPrimes) {
+  // A two-task producer/consumer with a lagged location: the consumer
+  // reads first (priority 0), so the value it sees in iteration 0 is
+  // whatever init() primed — proving the hook runs before the barrier.
+  rt::ProgramOptions opts = quiet();
+  ProgramBuilder b(2, opts);
+  std::atomic<double> first_read{0.0};
+  std::atomic<int> reads{0};
+
+  b.task(0)
+      .owns<double>()
+      .writes<double>(loc(0), 1)  // lagged: reader first
+      .iterates(3)
+      .init([](Task& task) { task.my<double>().value() = 42.0; })
+      .body([](Task& task) {
+        WriteLink<double> own = task.write_link<double>(loc(0));
+        task.run_iterations([&](std::size_t i) {
+          WriteGuard<double> w(own);
+          w.ref() = static_cast<double>(i);
+        });
+      });
+  b.task(1)
+      .reads<double>(loc(0), 0)
+      .iterates(3)
+      .body([&](Task& task) {
+        ReadLink<double> in = task.read_link<double>(loc(0));
+        EXPECT_EQ(task.iterations(), 3u);
+        task.run_iterations([&](std::size_t i) {
+          ReadGuard<double> r(in);
+          if (i == 0) first_read.store(r.ref());
+          reads.fetch_add(1);
+        });
+      });
+
+  Program p = b.build();
+  p.run();
+  EXPECT_EQ(reads.load(), 3);
+  EXPECT_DOUBLE_EQ(first_read.load(), 42.0)
+      << "init() must run before the schedule barrier";
+}
+
+TEST(Builder, DryRunSkipsInitHooksAndBodies) {
+  // Dry-run builds scale_hint their locations (no allocation), so the
+  // run must skip init hooks along with the bodies — an init hook that
+  // touches its unallocated buffers would otherwise throw.
+  rt::ProgramOptions opts = quiet();
+  opts.dry_run = true;
+  ProgramBuilder b(2, opts);
+  std::atomic<int> ran{0};
+  for (TaskId t = 0; t < 2; ++t) {
+    b.task(t)
+        .owns<double[]>(1 << 20)
+        .writes<double[]>(loc(t))
+        .init([&](Task& task) {
+          ran.fetch_add(1);
+          task.my<double[]>().span();  // no buffer in dry-run: would throw
+        })
+        .body([&](Task&) { ran.fetch_add(1); });
+  }
+  Program p = b.build();
+  EXPECT_NO_THROW(p.run());
+  EXPECT_EQ(ran.load(), 0) << "dry-run declarative programs only extract";
+  p.dependency_get();
+  EXPECT_EQ(p.comm_matrix().order(), 2u);
+}
+
+TEST(Builder, ScheduleFromDeclarativeBodyThrows) {
+  ProgramBuilder b(1, quiet());
+  b.task(0).owns<double>().writes<double>(loc(0));
+  b.body([](Task& task) { task.schedule(); });
+  Program p = b.build();
+  EXPECT_THROW(p.run(), std::logic_error);
+}
+
+TEST(Builder, LinkLookupChecksModeAndType) {
+  ProgramBuilder b(1, quiet());
+  b.task(0).owns<double>().writes<double>(loc(0));
+  b.body([](Task& task) {
+    // Right mode + type works; wrong mode, type or shape is refused.
+    EXPECT_NO_THROW(task.write_link<double>(loc(0)));
+    EXPECT_THROW(task.read_link<double>(loc(0)), std::logic_error);
+    EXPECT_THROW(task.write_link<float>(loc(0)), std::logic_error);
+    EXPECT_THROW(task.write_link<double[]>(loc(0)), std::logic_error)
+        << "array lookup must not alias a scalar declaration";
+  });
+  b.build().run();
+}
+
+TEST(Builder, BodylessTaskWithDeclaredAccessesIsRejected) {
+  // Such a task's tickets would never be acquired, stalling the
+  // location's FIFO until the deadlock guard; fail fast instead.
+  ProgramBuilder b(2, quiet());
+  b.task(0).owns<double>().writes<double>(loc(0));  // no body
+  b.task(1).reads<double>(loc(0)).body([](Task&) {});
+  Program p = b.build();
+  EXPECT_THROW(p.run(), std::logic_error);
+}
+
+TEST(Guards, ZeroSizedSyncLocationsYieldEmptySpans) {
+  // The v1 pure-synchronization idiom: locations with no data, used
+  // only for their FIFO ordering. Array guards map them as empty spans.
+  rt::ProgramOptions opts = quiet();
+  ProgramBuilder b(2, opts);
+  for (TaskId t = 0; t < 2; ++t) {
+    b.task(t)
+        .writes<std::byte[]>(loc(t), 0)
+        .reads<std::byte[]>(loc((t + 1) % 2), 1)
+        .iterates(5);
+  }
+  b.body([](Task& task) {
+    WriteLink<std::byte[]> own =
+        task.write_link<std::byte[]>(loc(task.id()));
+    ReadLink<std::byte[]> other =
+        task.read_link<std::byte[]>(loc((task.id() + 1) % 2));
+    task.run_iterations([&](std::size_t) {
+      {
+        WriteGuard<std::byte[]> w(own);
+        EXPECT_EQ(w.size(), 0u);
+      }
+      {
+        ReadGuard<std::byte[]> r(other);
+        EXPECT_TRUE(r.span().empty());
+      }
+    });
+  });
+  EXPECT_NO_THROW(b.build().run());
+}
+
+TEST(Builder, BuildTwiceAndBadTargetsThrow) {
+  {
+    ProgramBuilder b(2, quiet());
+    b.task(0).owns<double>().writes<double>(loc(0));
+    b.body([](Task&) {});
+    (void)b.build();
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+  {
+    ProgramBuilder b(2, quiet());
+    b.task(0).reads<double>(loc(7), 1);  // no task 7
+    EXPECT_THROW(b.build(), std::out_of_range);
+  }
+  {
+    // Two same-mode links of one task on one location would be
+    // unreachable through the (location, mode) lookup: rejected.
+    ProgramBuilder b(2, quiet());
+    b.task(0).owns<double>().writes<double>(loc(0), 0).writes<double>(
+        loc(0), 5);
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+}
+
+// ------------------------------------------------- typed locations ------
+
+TEST(TypedLocal, ScaleComesFromTheType) {
+  rt::Location raw(0, 0, 0);
+  Local<std::uint32_t> one(raw);
+  one.scale();
+  EXPECT_EQ(raw.size(), sizeof(std::uint32_t));
+  one.value() = 7;
+  EXPECT_EQ(one.value(), 7u);
+
+  Local<double[]> many(raw);
+  many.scale(12);
+  EXPECT_EQ(raw.size(), 12 * sizeof(double));
+  EXPECT_EQ(many.count(), 12u);
+  EXPECT_EQ(many.span().size(), 12u);
+  many.span()[11] = 3.5;
+  EXPECT_DOUBLE_EQ(many.span()[11], 3.5);
+}
+
+TEST(TypedLocal, CheckedAccessRejectsBadShapes) {
+  rt::Location raw(0, 0, 0);
+  Local<double> lens(raw);
+  // No buffer yet (and none after a hint-only scale).
+  EXPECT_THROW(lens.value(), std::logic_error);
+  raw.scale_hint(sizeof(double));
+  EXPECT_THROW(lens.value(), std::logic_error);
+  // Wrong size for the element type.
+  raw.scale(3);
+  EXPECT_THROW(lens.value(), std::length_error);
+  raw.scale(sizeof(double));
+  EXPECT_NO_THROW(lens.value());
+}
+
+TEST(TypedSpans, AsSpanChecksDivisibility) {
+  alignas(double) std::byte storage[24] = {};
+  EXPECT_EQ(as_span<double>(std::span<std::byte>(storage, 24)).size(), 3u);
+  EXPECT_THROW(as_span<double>(std::span<std::byte>(storage, 20)),
+               std::length_error);
+}
+
+// ------------------------------------------------ imperative guards -----
+
+TEST(Guards, TypedRoundTripThroughImperativeProgram) {
+  struct Packet {
+    std::int32_t seq;
+    double payload;
+  };
+  rt::ProgramOptions opts = quiet();
+  std::atomic<double> seen{0.0};
+  Program prog(2, opts);
+  prog.set_task_body(0, [](Task& task) {
+    task.my<Packet>().scale();
+    WriteLink<Packet> out = task.write<Packet>(task.mine(), 0);
+    task.schedule();
+    WriteGuard<Packet> w(out);
+    w->seq = 1;
+    w->payload = 2.5;
+  });
+  prog.set_task_body(1, [&](Task& task) {
+    ReadLink<Packet> in = task.read<Packet>(loc(0), 1);
+    task.schedule();
+    ReadGuard<Packet> r(in);
+    EXPECT_EQ(r->seq, 1);
+    seen.store(r->payload);
+  });
+  prog.run();
+  EXPECT_DOUBLE_EQ(seen.load(), 2.5);
+}
+
+TEST(Guards, EarlyReleaseIsIdempotentAndTeardownSafe) {
+  rt::ProgramOptions opts = quiet();
+  Program prog(1, opts);
+  prog.set_task_body([](Task& task) {
+    task.my<double>().scale();
+    WriteLink<double> own = task.write<double>(task.mine(), 0);
+    task.schedule();
+    WriteGuard<double> w(own);
+    w.ref() = 1.0;
+    w.release();
+    EXPECT_FALSE(w.held());
+    EXPECT_NO_THROW(w.release());  // double release: no-op
+    // The buffer belongs to the next grantee now: the cached map must
+    // be unreachable (v1's "section not acquired" contract).
+    EXPECT_THROW(w.ref(), std::logic_error);
+    // Destructor of the already-released guard must also be a no-op.
+  });
+  const std::uint64_t before = rt::guard_teardown_failures();
+  prog.run();
+  EXPECT_EQ(rt::guard_teardown_failures(), before)
+      << "clean early release must not count as a teardown failure";
+}
+
+TEST(Guards, ThrowingExplicitReleaseStillRecordsAtTeardown) {
+  // release() propagates protocol errors but must leave the guard
+  // armed, so the destructor's noexcept teardown runs and counts the
+  // failure — otherwise a lost grant would vanish from the counters.
+  rt::ProgramOptions opts = quiet();
+  Program prog(1, opts);
+  prog.set_task_body([](Task& task) {
+    task.my<double>().scale();
+    WriteLink<double> own = task.write<double>(task.mine(), 0);
+    task.schedule();
+    WriteGuard<double> w(own);
+    // Yank the grant away underneath the guard (ticket 1 is the only
+    // request), then release() must throw and the dtor must swallow.
+    task.program().location(task.mine()).queue().release(1);
+    EXPECT_THROW(w.release(), std::logic_error);
+    EXPECT_TRUE(w.held()) << "a failed release keeps the guard armed";
+  });
+  const std::uint64_t before = rt::guard_teardown_failures();
+  EXPECT_NO_THROW(prog.run());
+  EXPECT_EQ(rt::guard_teardown_failures(), before + 1);
+  EXPECT_EQ(prog.runtime().stats().guard_teardown_failures, 1u);
+}
+
+TEST(Guards, WriteGuardChecksElementShape) {
+  rt::ProgramOptions opts = quiet();
+  Program prog(1, opts);
+  prog.set_task_body([](Task& task) {
+    task.my<std::byte[]>().scale(3);  // 3 bytes: not a whole double
+    WriteLink<double> bad = task.write<double>(task.mine(), 0);
+    task.schedule();
+    EXPECT_THROW(WriteGuard<double> g(bad), std::length_error);
+  });
+  prog.run();
+}
+
+}  // namespace

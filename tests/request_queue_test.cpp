@@ -10,8 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "runtime/control_plane.hpp"
-#include "runtime/request_queue.hpp"
+#include "orwl/orwl.hpp"
 #include "support/rng.hpp"
 
 namespace {

@@ -7,8 +7,7 @@
 #include <deque>
 #include <map>
 
-#include "runtime/handle.hpp"
-#include "runtime/program.hpp"
+#include "orwl/orwl.hpp"
 #include "support/rng.hpp"
 #include "topo/machines.hpp"
 
@@ -205,6 +204,51 @@ TEST(Robustness, DoubleInsertRejected) {
     { rt::Section s(h); }
   });
   EXPECT_NO_THROW(prog.run());
+}
+
+TEST(Robustness, SectionTeardownIsNoexceptOnDoubleRelease) {
+  // Regression for the throwing ~Section: releasing the handle early —
+  // explicitly or behind the guard's back — must leave the destructor a
+  // no-op instead of throwing out of stack unwinding.
+  rt::Program prog(1, quiet());
+  prog.set_task_body([&](rt::TaskContext& ctx) {
+    ctx.scale(8);
+    rt::Handle2 h;
+    h.write_insert(ctx, ctx.my_location(), 0);
+    ctx.schedule();
+    {
+      rt::Section s(h);
+      s.release();  // explicit early release...
+    }               // ...then the destructor: must be a clean no-op
+    {
+      rt::Section s(h);
+      h.release();  // released behind the Section's back
+    }
+  });
+  const std::uint64_t before = rt::guard_teardown_failures();
+  EXPECT_NO_THROW(prog.run());
+  EXPECT_EQ(rt::guard_teardown_failures(), before);
+  EXPECT_EQ(prog.stats().guard_teardown_failures, 0u);
+}
+
+TEST(Robustness, SectionTeardownSwallowsAndCountsAThrowingRelease) {
+  // Make the underlying release throw while the Section still believes
+  // it holds the lock: release the ticket through the queue directly.
+  // The destructor must swallow the error and record it.
+  rt::Program prog(1, quiet());
+  prog.set_task_body([&](rt::TaskContext& ctx) {
+    ctx.scale(8);
+    rt::Handle h;
+    h.write_insert(ctx, ctx.my_location(), 0);
+    ctx.schedule();
+    rt::Section s(h);
+    ctx.my_location().queue().release(1);  // yank the grant away
+  });
+  const std::uint64_t before = rt::guard_teardown_failures();
+  EXPECT_NO_THROW(prog.run());
+  EXPECT_EQ(rt::guard_teardown_failures(), before + 1);
+  EXPECT_EQ(prog.stats().guard_teardown_failures, 1u);
+  EXPECT_EQ(prog.guard_teardown_failures(), 1u);
 }
 
 TEST(Robustness, ZeroSizedLocationSectionsWork) {
