@@ -1,5 +1,7 @@
 #include "apps/lk23.hpp"
 
+#include <atomic>
+#include <functional>
 #include <stdexcept>
 
 #include "support/rng.hpp"
@@ -83,13 +85,17 @@ BlockGeom block_geom(std::size_t n, std::size_t by, std::size_t bx,
 /// Compute one block sweep. Neighbor values that live outside the block
 /// come from the halo arrays (which the caller filled from locations or
 /// from the fixed grid boundary).
-void sweep_block(Lk23Problem& p, const BlockGeom& g,
-                 const std::vector<double>& halo_n,
-                 const std::vector<double>& halo_s,
-                 const std::vector<double>& halo_w,
-                 const std::vector<double>& halo_e) {
+/// \return The block's residual: the sum of squared cell updates this
+///         sweep (the converged-predicate loop sums it across blocks;
+///         the counted variants ignore it).
+double sweep_block(Lk23Problem& p, const BlockGeom& g,
+                   const std::vector<double>& halo_n,
+                   const std::vector<double>& halo_s,
+                   const std::vector<double>& halo_w,
+                   const std::vector<double>& halo_e) {
   const std::size_t n = p.n;
   double* za = p.za.data();
+  double residual = 0.0;
   for (std::size_t j = g.r0; j < g.r1; ++j) {
     for (std::size_t k = g.c0; k < g.c1; ++k) {
       const std::size_t i = j * n + k;
@@ -97,10 +103,14 @@ void sweep_block(Lk23Problem& p, const BlockGeom& g,
       const double south = j == g.r1 - 1 ? halo_s[k - g.c0] : za[i + n];
       const double west = k == g.c0 ? halo_w[j - g.r0] : za[i - 1];
       const double east = k == g.c1 - 1 ? halo_e[j - g.r0] : za[i + 1];
+      const double before = za[i];
       update_cell(za[i], north, south, east, west, p.zr[i], p.zb[i],
                   p.zu[i], p.zv[i], p.zz[i]);
+      const double d = za[i] - before;
+      residual += d * d;
     }
   }
+  return residual;
 }
 
 // Halo location slots per task (owner writes its borders after updating):
@@ -115,15 +125,19 @@ constexpr std::size_t kLocS = 1;
 constexpr std::size_t kLocW = 2;
 constexpr std::size_t kLocE = 3;
 
-}  // namespace
+/// One whole ORWL iteration of a block: gather halos, sweep, publish.
+/// Returns the block residual (see sweep_block).
+using BlockSweep = std::function<double(std::size_t)>;
 
-void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
-               std::size_t bx, rt::ProgramOptions prog_opts) {
-  if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
-    throw std::invalid_argument("lk23_orwl: bad block grid");
-  }
-  ProgramBuilder builder(by * bx, prog_opts);
+/// The loop driver a variant plugs into the shared task body: counted
+/// (lk23_orwl) or converged-predicate (lk23_orwl_converged).
+using SweepDriver = std::function<void(Task&, const BlockSweep&)>;
 
+/// Declare the by*bx halo-exchange tasks on `builder` — the one ORWL
+/// wiring both iteration variants share; only the loop driver differs.
+void wire_lk23_tasks(ProgramBuilder& builder, Lk23Problem& p,
+                     std::size_t iters, std::size_t by, std::size_t bx,
+                     const SweepDriver& drive) {
   for (rt::TaskId id = 0; id < by * bx; ++id) {
     const std::size_t bi = id / bx;
     const std::size_t bj = id % bx;
@@ -170,8 +184,10 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
       }
     });
 
-    spec.body([&p, g, id, bx, has_north, has_south, has_west,
-               has_east](Task& task) {
+    // `drive` is copied into the body: the closure outlives this call
+    // (it runs when the built program does).
+    spec.body([&p, g, id, bx, has_north, has_south, has_west, has_east,
+               drive](Task& task) {
       const std::size_t n = p.n;
       WriteLink<double[]> w_n = task.write_link<double[]>(loc(id, kLocN));
       WriteLink<double[]> w_s = task.write_link<double[]>(loc(id, kLocS));
@@ -186,7 +202,7 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
       std::vector<double> halo_n(g.w()), halo_s(g.w());
       std::vector<double> halo_w(g.h()), halo_e(g.h());
 
-      task.run_iterations([&](std::size_t) {
+      const BlockSweep sweep = [&](std::size_t) -> double {
         // -- gather phase ------------------------------------------------
         if (has_north) {
           ReadGuard<double[]> sec(r_n);
@@ -222,7 +238,8 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
         }
 
         // -- compute -----------------------------------------------------
-        sweep_block(p, g, halo_n, halo_s, halo_w, halo_e);
+        const double residual =
+            sweep_block(p, g, halo_n, halo_s, halo_w, halo_e);
 
         // -- publish phase -----------------------------------------------
         {
@@ -249,12 +266,59 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
             sec[j] = p.za[(g.r0 + j) * n + g.c1 - 1];
           }
         }
-      });
+        return residual;
+      };
+      drive(task, sweep);
     });
   }
+}
 
+}  // namespace
+
+void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
+               std::size_t bx, rt::ProgramOptions prog_opts) {
+  if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
+    throw std::invalid_argument("lk23_orwl: bad block grid");
+  }
+  ProgramBuilder builder(by * bx, prog_opts);
+  wire_lk23_tasks(builder, p, iters, by, bx,
+                  [](Task& task, const BlockSweep& sweep) {
+                    task.run_iterations(
+                        [&sweep](std::size_t i) { sweep(i); });
+                  });
   Program prog = builder.build();
   prog.run();
+}
+
+std::size_t lk23_orwl_converged(Lk23Problem& p, double tol,
+                                std::size_t max_iters, std::size_t by,
+                                std::size_t bx,
+                                rt::ProgramOptions prog_opts) {
+  if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
+    throw std::invalid_argument("lk23_orwl_converged: bad block grid");
+  }
+  if (max_iters == 0) {
+    throw std::invalid_argument("lk23_orwl_converged: max_iters must be > 0");
+  }
+  ProgramBuilder builder(by * bx, prog_opts);
+  // The predicate runs on the all-task residual sum, so every task sees
+  // the same value each iteration and the loop terminates uniformly —
+  // the per-task iteration budget counts along but never diverges.
+  std::atomic<std::size_t> executed{0};
+  wire_lk23_tasks(
+      builder, p, max_iters, by, bx,
+      [tol, max_iters, &executed](Task& task, const BlockSweep& sweep) {
+        std::size_t spent = 0;
+        const std::size_t ran = task.run_iterations(
+            [tol, max_iters, &spent](double residual) {
+              return residual <= tol || ++spent >= max_iters;
+            },
+            sweep);
+        executed.store(ran, std::memory_order_relaxed);
+      });
+  Program prog = builder.build();
+  prog.run();
+  return executed.load(std::memory_order_relaxed);
 }
 
 void lk23_forkjoin(Lk23Problem& p, std::size_t iters, std::size_t by,

@@ -55,6 +55,17 @@ void lk23_sequential(Lk23Problem& p, std::size_t iters);
 void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,
                std::size_t blocks_x, rt::ProgramOptions prog_opts = {});
 
+/// ORWL decomposition with a converged-predicate loop instead of a fixed
+/// sweep count: after each sweep the per-block residuals (sum of squared
+/// cell updates) are sum-reduced across all tasks, and every task keeps
+/// sweeping until the global residual drops to `tol` or `max_iters`
+/// sweeps ran. Same wiring (and the same bit-exact sweep) as lk23_orwl.
+/// \return The number of sweeps executed (uniform across tasks).
+std::size_t lk23_orwl_converged(Lk23Problem& p, double tol,
+                                std::size_t max_iters, std::size_t blocks_y,
+                                std::size_t blocks_x,
+                                rt::ProgramOptions prog_opts = {});
+
 /// Fork-join baseline: per sweep, parallel-for over each anti-diagonal of
 /// blocks. Also bit-identical to the sequential sweep.
 void lk23_forkjoin(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,

@@ -203,213 +203,245 @@ VideoResult video_sequential(const VideoParams& params) {
 
 namespace {
 
-/// Builds and runs the ORWL video program on the v2 facade's imperative
-/// path: the pipeline mixes typed locations with FIFO channels and
-/// role-specific wirings, which is exactly the dynamic-insert shape the
-/// imperative Task API exists for. With opts.dry_run the bodies return
-/// right after schedule() and only the graph is produced.
+/// Builds (and, unless the options say dry_run, executes) the ORWL video
+/// program on the v2 declarative builder: every stage states what it
+/// owns, reads, writes and streams up front, so the task-location graph
+/// — the producer's FIFO channel included — exists before anything runs.
+/// Graph extraction (`matrix != nullptr` with opts.dry_run) therefore
+/// executes zero task bodies: build(), dependency_get(), done.
 void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
                        VideoResult* result, tm::CommMatrix* matrix) {
   const std::size_t w = params.width;
   const std::size_t h = params.height;
-  const std::size_t frame_bytes = w * h;
   const std::size_t frames = params.frames;
   const Scene scene = Scene::demo(w, h, params.objects, params.seed);
 
-  opts.locations_per_task = 2;
-  Program prog(params.num_tasks(), opts);
+  ProgramBuilder builder(params.num_tasks(), opts);
 
-  // ---- producer --------------------------------------------------------
-  prog.set_task_body(params.producer_task(), [&](Task& task) {
-    FifoProducer out;
-    out.link(task.context(), params.producer_task(), 0, 2, frame_bytes);
-    task.schedule();
-    if (task.dry_run()) return;
-    task.run_iterations(frames, [&](std::size_t f) {
-      auto buf = out.begin_push();
-      scene.render(f, as_span<Pixel>(buf).data());
-      out.end_push();
-    });
-  });
+  // ---- producer ----------------------------------------------------------
+  builder.task(params.producer_task())
+      .fifo_out<Pixel[]>("frames", w * h, 2)
+      .iterates(frames)
+      .body([&scene](Task& task) {
+        FifoOut<Pixel[]> out = task.fifo_out<Pixel[]>("frames");
+        task.run_iterations([&](std::size_t f) {
+          scene.render(f, out.begin_push().data());
+          out.end_push();
+        });
+      });
 
   // ---- gmm splits --------------------------------------------------------
   for (std::size_t g = 0; g < params.gmm_splits; ++g) {
-    prog.set_task_body(params.gmm_split_task(g), [&, g](Task& task) {
-      const auto band = split_range(h, params.gmm_splits, g);
-      task.my<Pixel[]>(0).scale(band.size() * w);
-      FifoConsumer frames_in;
-      frames_in.link(task.context(), params.producer_task(), 0, 2);
-      WriteLink<Pixel[]> band_out = task.write<Pixel[]>(task.mine(0), 0);
-      task.schedule();
-      if (task.dry_run()) return;
-
-      BackgroundModel model;  // private band state
-      model.init(w, h);
-      std::vector<Pixel> mask(w * h);  // only band rows are touched
-      task.run_iterations(frames, [&](std::size_t) {
-        auto in = frames_in.begin_pop();
-        model.process_rows(as_span<Pixel>(in).data(), mask.data(),
-                           band.begin, band.end);
-        frames_in.end_pop();
-        WriteGuard<Pixel[]> sec(band_out);
-        std::copy_n(mask.data() + band.begin * w, sec.size(), sec.data());
-      });
-    });
+    const auto band = split_range(h, params.gmm_splits, g);
+    const TaskId id = params.gmm_split_task(g);
+    builder.task(id)
+        .owns<Pixel[]>(band.size() * w, 0)
+        .writes<Pixel[]>(loc(id, 0), 0)
+        .fifo_in<Pixel[]>("frames")
+        .iterates(frames)
+        .body([&params, w, band, id](Task& task) {
+          FifoIn<Pixel[]> frames_in = task.fifo_in<Pixel[]>("frames");
+          WriteLink<Pixel[]> band_out = task.write_link<Pixel[]>(loc(id, 0));
+          BackgroundModel model;  // private band state
+          model.init(w, params.height);
+          std::vector<Pixel> mask(w * params.height);  // band rows touched
+          task.run_iterations([&](std::size_t) {
+            auto in = frames_in.begin_pop();
+            model.process_rows(in.data(), mask.data(), band.begin, band.end);
+            frames_in.end_pop();
+            WriteGuard<Pixel[]> sec(band_out);
+            std::copy_n(mask.data() + band.begin * w, sec.size(), sec.data());
+          });
+        });
   }
 
   // ---- gmm merge ---------------------------------------------------------
-  prog.set_task_body(params.gmm_task(), [&](Task& task) {
-    task.my<Pixel[]>(0).scale(frame_bytes);
-    WriteLink<Pixel[]> mask_out = task.write<Pixel[]>(task.mine(0), 0);
-    std::vector<ReadLink<Pixel[]>> bands_in;
+  {
+    TaskSpec& spec = builder.task(params.gmm_task());
+    spec.owns<Pixel[]>(w * h, 0).writes<Pixel[]>(loc(params.gmm_task(), 0), 0);
     for (std::size_t g = 0; g < params.gmm_splits; ++g) {
-      bands_in.push_back(
-          task.read<Pixel[]>(loc(params.gmm_split_task(g), 0), 1));
+      spec.reads<Pixel[]>(loc(params.gmm_split_task(g), 0), 1);
     }
-    task.schedule();
-    if (task.dry_run()) return;
-
-    task.run_iterations(frames, [&](std::size_t) {
-      WriteGuard<Pixel[]> out(mask_out);
+    spec.iterates(frames).body([&params, w, h](Task& task) {
+      WriteLink<Pixel[]> mask_out =
+          task.write_link<Pixel[]>(loc(params.gmm_task(), 0));
+      std::vector<ReadLink<Pixel[]>> bands_in;
       for (std::size_t g = 0; g < params.gmm_splits; ++g) {
-        const auto band = split_range(h, params.gmm_splits, g);
-        ReadGuard<Pixel[]> in(bands_in[g]);
-        std::copy(in.begin(), in.end(),
-                  out.span().subspan(band.begin * w).begin());
+        bands_in.push_back(
+            task.read_link<Pixel[]>(loc(params.gmm_split_task(g), 0)));
       }
-    });
-  });
-
-  // ---- erode -------------------------------------------------------------
-  prog.set_task_body(params.erode_task(), [&](Task& task) {
-    task.my<Pixel[]>(0).scale(frame_bytes);
-    ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(params.gmm_task(), 0), 1);
-    WriteLink<Pixel[]> out = task.write<Pixel[]>(task.mine(0), 0);
-    task.schedule();
-    if (task.dry_run()) return;
-    task.run_iterations(frames, [&](std::size_t) {
-      ReadGuard<Pixel[]> sin(in);
-      WriteGuard<Pixel[]> sout(out);
-      erode3x3(sin.data(), sout.data(), w, h);
-    });
-  });
-
-  // ---- dilate chain --------------------------------------------------------
-  for (std::size_t d = 0; d < params.dilates; ++d) {
-    prog.set_task_body(params.dilate_task(d), [&, d](Task& task) {
-      task.my<Pixel[]>(0).scale(frame_bytes);
-      const std::size_t prev_task =
-          d == 0 ? params.erode_task() : params.dilate_task(d - 1);
-      ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(prev_task, 0), 1);
-      WriteLink<Pixel[]> out = task.write<Pixel[]>(task.mine(0), 0);
-      task.schedule();
-      if (task.dry_run()) return;
-      task.run_iterations(frames, [&](std::size_t) {
-        ReadGuard<Pixel[]> sin(in);
-        WriteGuard<Pixel[]> sout(out);
-        dilate3x3(sin.data(), sout.data(), w, h);
+      task.run_iterations([&](std::size_t) {
+        WriteGuard<Pixel[]> out(mask_out);
+        for (std::size_t g = 0; g < params.gmm_splits; ++g) {
+          const auto band = split_range(h, params.gmm_splits, g);
+          ReadGuard<Pixel[]> in(bands_in[g]);
+          std::copy(in.begin(), in.end(),
+                    out.span().subspan(band.begin * w).begin());
+        }
       });
     });
   }
 
-  // ---- ccl splits -----------------------------------------------------------
-  const std::size_t last_dilate = params.dilate_task(params.dilates - 1);
-  for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-    prog.set_task_body(params.ccl_split_task(c), [&, c](Task& task) {
-      const auto band = split_range(h, params.ccl_splits, c);
-      task.my<std::byte[]>(0).scale(ccl_band_bytes(w));
-      ReadLink<Pixel[]> in = task.read<Pixel[]>(loc(last_dilate, 0), 1);
-      WriteLink<std::byte[]> out = task.write<std::byte[]>(task.mine(0), 0);
-      task.schedule();
-      if (task.dry_run()) return;
-      task.run_iterations(frames, [&](std::size_t) {
-        BandLabeling labeled;
-        {
+  // ---- erode -------------------------------------------------------------
+  builder.task(params.erode_task())
+      .owns<Pixel[]>(w * h, 0)
+      .reads<Pixel[]>(loc(params.gmm_task(), 0), 1)
+      .writes<Pixel[]>(loc(params.erode_task(), 0), 0)
+      .iterates(frames)
+      .body([&params, w, h](Task& task) {
+        ReadLink<Pixel[]> in =
+            task.read_link<Pixel[]>(loc(params.gmm_task(), 0));
+        WriteLink<Pixel[]> out =
+            task.write_link<Pixel[]>(loc(params.erode_task(), 0));
+        task.run_iterations([&](std::size_t) {
           ReadGuard<Pixel[]> sin(in);
-          labeled = label_band(sin.data(), w, band.begin, band.end);
-        }
-        WriteGuard<std::byte[]> sout(out);
-        serialize_band(labeled, w, sout.data());
+          WriteGuard<Pixel[]> sout(out);
+          erode3x3(sin.data(), sout.data(), w, h);
+        });
       });
-    });
+
+  // ---- dilate chain ------------------------------------------------------
+  for (std::size_t d = 0; d < params.dilates; ++d) {
+    const TaskId prev_task =
+        d == 0 ? params.erode_task() : params.dilate_task(d - 1);
+    const TaskId id = params.dilate_task(d);
+    builder.task(id)
+        .owns<Pixel[]>(w * h, 0)
+        .reads<Pixel[]>(loc(prev_task, 0), 1)
+        .writes<Pixel[]>(loc(id, 0), 0)
+        .iterates(frames)
+        .body([w, h, prev_task, id](Task& task) {
+          ReadLink<Pixel[]> in = task.read_link<Pixel[]>(loc(prev_task, 0));
+          WriteLink<Pixel[]> out = task.write_link<Pixel[]>(loc(id, 0));
+          task.run_iterations([&](std::size_t) {
+            ReadGuard<Pixel[]> sin(in);
+            WriteGuard<Pixel[]> sout(out);
+            dilate3x3(sin.data(), sout.data(), w, h);
+          });
+        });
+  }
+
+  // ---- ccl splits --------------------------------------------------------
+  const TaskId last_dilate = params.dilate_task(params.dilates - 1);
+  for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+    const auto band = split_range(h, params.ccl_splits, c);
+    const TaskId id = params.ccl_split_task(c);
+    builder.task(id)
+        .owns<std::byte[]>(ccl_band_bytes(w), 0)
+        .reads<Pixel[]>(loc(last_dilate, 0), 1)
+        .writes<std::byte[]>(loc(id, 0), 0)
+        .iterates(frames)
+        .body([w, band, last_dilate, id](Task& task) {
+          ReadLink<Pixel[]> in = task.read_link<Pixel[]>(loc(last_dilate, 0));
+          WriteLink<std::byte[]> out =
+              task.write_link<std::byte[]>(loc(id, 0));
+          task.run_iterations([&](std::size_t) {
+            BandLabeling labeled;
+            {
+              ReadGuard<Pixel[]> sin(in);
+              labeled = label_band(sin.data(), w, band.begin, band.end);
+            }
+            WriteGuard<std::byte[]> sout(out);
+            serialize_band(labeled, w, sout.data());
+          });
+        });
   }
 
   // ---- ccl merge ---------------------------------------------------------
-  prog.set_task_body(params.ccl_task(), [&](Task& task) {
-    task.my<DetectionBlock>(0).scale();
-    std::vector<ReadLink<std::byte[]>> bands_in;
+  {
+    TaskSpec& spec = builder.task(params.ccl_task());
+    spec.owns<DetectionBlock>(0).writes<DetectionBlock>(
+        loc(params.ccl_task(), 0), 0);
     for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-      bands_in.push_back(
-          task.read<std::byte[]>(loc(params.ccl_split_task(c), 0), 1));
+      spec.reads<std::byte[]>(loc(params.ccl_split_task(c), 0), 1);
     }
-    WriteLink<DetectionBlock> out = task.write<DetectionBlock>(task.mine(0), 0);
-    task.schedule();
-    if (task.dry_run()) return;
-
-    task.run_iterations(frames, [&](std::size_t) {
-      std::vector<BandLabeling> bands;
+    spec.iterates(frames).body([&params, w](Task& task) {
+      std::vector<ReadLink<std::byte[]>> bands_in;
       for (std::size_t c = 0; c < params.ccl_splits; ++c) {
-        ReadGuard<std::byte[]> sin(bands_in[c]);
-        bands.push_back(deserialize_band(sin.data(), w));
+        bands_in.push_back(
+            task.read_link<std::byte[]>(loc(params.ccl_split_task(c), 0)));
       }
-      const auto comps = merge_bands(bands, w, params.min_area);
-      if (comps.size() > kMaxDetections) {
-        throw std::runtime_error("video: too many detections");
-      }
-      WriteGuard<DetectionBlock> blk(out);
-      blk->count = static_cast<std::int32_t>(comps.size());
-      for (std::size_t i = 0; i < comps.size(); ++i) {
-        blk->dets[i] = {comps[i].cx(), comps[i].cy(), comps[i].area};
-      }
-    });
-  });
-
-  // ---- tracking ------------------------------------------------------------
-  prog.set_task_body(params.tracking_task(), [&](Task& task) {
-    task.my<TrackBlock>(0).scale();
-    ReadLink<DetectionBlock> in =
-        task.read<DetectionBlock>(loc(params.ccl_task(), 0), 1);
-    WriteLink<TrackBlock> out = task.write<TrackBlock>(task.mine(0), 0);
-    task.schedule();
-    if (task.dry_run()) return;
-
-    Tracker tracker;
-    task.run_iterations(frames, [&](std::size_t) {
-      std::vector<std::array<double, 2>> dets;
-      std::int32_t ndet = 0;
-      {
-        ReadGuard<DetectionBlock> sin(in);
-        ndet = sin->count;
-        for (std::int32_t i = 0; i < sin->count; ++i) {
-          dets.push_back({sin->dets[i].x, sin->dets[i].y});
+      WriteLink<DetectionBlock> out =
+          task.write_link<DetectionBlock>(loc(params.ccl_task(), 0));
+      task.run_iterations([&](std::size_t) {
+        std::vector<BandLabeling> bands;
+        for (std::size_t c = 0; c < params.ccl_splits; ++c) {
+          ReadGuard<std::byte[]> sin(bands_in[c]);
+          bands.push_back(deserialize_band(sin.data(), w));
         }
-      }
-      tracker.update(dets);
-      WriteGuard<TrackBlock> blk(out);
-      blk->num_detections = ndet;
-      blk->num_tracks = static_cast<std::int32_t>(tracker.tracks().size());
-      blk->tracks_created = tracker.total_tracks_created();
-      for (std::size_t i = 0; i < tracker.tracks().size() && i < kMaxTracks;
-           ++i) {
-        const Track& t = tracker.tracks()[i];
-        blk->tracks[i] = {t.id, t.age, t.x, t.y};
-      }
+        const auto comps = merge_bands(bands, w, params.min_area);
+        if (comps.size() > kMaxDetections) {
+          throw std::runtime_error("video: too many detections");
+        }
+        WriteGuard<DetectionBlock> blk(out);
+        blk->count = static_cast<std::int32_t>(comps.size());
+        for (std::size_t i = 0; i < comps.size(); ++i) {
+          blk->dets[i] = {comps[i].cx(), comps[i].cy(), comps[i].area};
+        }
+      });
     });
-  });
+  }
 
-  // ---- consumer -------------------------------------------------------------
-  prog.set_task_body(params.consumer_task(), [&](Task& task) {
-    ReadLink<TrackBlock> in =
-        task.read<TrackBlock>(loc(params.tracking_task(), 0), 1);
-    task.schedule();
-    if (task.dry_run()) return;
-    task.run_iterations(frames, [&](std::size_t) {
-      ReadGuard<TrackBlock> sin(in);
-      if (result != nullptr) {
-        fill_result_from_track_block(sin.ref(), *result);
-      }
-    });
-  });
+  // ---- tracking ----------------------------------------------------------
+  builder.task(params.tracking_task())
+      .owns<TrackBlock>(0)
+      .reads<DetectionBlock>(loc(params.ccl_task(), 0), 1)
+      .writes<TrackBlock>(loc(params.tracking_task(), 0), 0)
+      .iterates(frames)
+      .body([&params](Task& task) {
+        ReadLink<DetectionBlock> in =
+            task.read_link<DetectionBlock>(loc(params.ccl_task(), 0));
+        WriteLink<TrackBlock> out =
+            task.write_link<TrackBlock>(loc(params.tracking_task(), 0));
+        Tracker tracker;
+        task.run_iterations([&](std::size_t) {
+          std::vector<std::array<double, 2>> dets;
+          std::int32_t ndet = 0;
+          {
+            ReadGuard<DetectionBlock> sin(in);
+            ndet = sin->count;
+            for (std::int32_t i = 0; i < sin->count; ++i) {
+              dets.push_back({sin->dets[i].x, sin->dets[i].y});
+            }
+          }
+          tracker.update(dets);
+          WriteGuard<TrackBlock> blk(out);
+          blk->num_detections = ndet;
+          blk->num_tracks =
+              static_cast<std::int32_t>(tracker.tracks().size());
+          blk->tracks_created = tracker.total_tracks_created();
+          for (std::size_t i = 0;
+               i < tracker.tracks().size() && i < kMaxTracks; ++i) {
+            const Track& t = tracker.tracks()[i];
+            blk->tracks[i] = {t.id, t.age, t.x, t.y};
+          }
+        });
+      });
+
+  // ---- consumer ----------------------------------------------------------
+  builder.task(params.consumer_task())
+      .reads<TrackBlock>(loc(params.tracking_task(), 0), 1)
+      .iterates(frames)
+      .body([&params, result](Task& task) {
+        ReadLink<TrackBlock> in =
+            task.read_link<TrackBlock>(loc(params.tracking_task(), 0));
+        task.run_iterations([&](std::size_t) {
+          ReadGuard<TrackBlock> sin(in);
+          if (result != nullptr) {
+            fill_result_from_track_block(sin.ref(), *result);
+          }
+        });
+      });
+
+  Program prog = builder.build();
+
+  if (matrix != nullptr) {
+    // The declared graph IS the communication matrix: no run(), no task
+    // executions, no thread spawns needed.
+    prog.dependency_get();
+    *matrix = prog.comm_matrix();
+  }
+  if (opts.dry_run) return;
 
   const auto t0 = std::chrono::steady_clock::now();
   prog.run();
@@ -419,10 +451,6 @@ void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
   if (result != nullptr) {
     result->frames = frames;
     result->seconds = secs;
-  }
-  if (matrix != nullptr) {
-    prog.dependency_get();
-    *matrix = prog.comm_matrix();
   }
 }
 

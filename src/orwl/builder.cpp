@@ -49,7 +49,43 @@ Program ProgramBuilder::build() {
       slots = std::max(slots, a.target.slot + 1);
     }
   }
-  opts_.locations_per_task = slots;
+
+  // FIFO channels ride above the declared slot space: each channel gets
+  // `depth` consecutive slots of its producer task, starting past every
+  // slot named by owns()/reads()/writes(). Only the producer's slots in
+  // a channel's range carry buffers; the same range on other tasks stays
+  // an empty (harmless) location.
+  struct PlannedChannel {
+    TaskId producer;
+    const TaskSpec::FifoOutDecl* decl;
+    std::size_t first_slot;
+  };
+  std::vector<PlannedChannel> channels;
+  std::size_t next_slot = slots;
+  for (TaskId t = 0; t < specs_.size(); ++t) {
+    for (const TaskSpec::FifoOutDecl& f : specs_[t].fifo_outs_) {
+      if (f.depth < 2) {
+        throw std::invalid_argument(
+            "ProgramBuilder::build: channel \"" + f.name +
+            "\" needs depth >= 2 (one slot cannot alternate)");
+      }
+      if (f.bytes == 0) {
+        throw std::invalid_argument("ProgramBuilder::build: channel \"" +
+                                    f.name + "\" declares zero-byte items");
+      }
+      for (const PlannedChannel& seen : channels) {
+        if (seen.decl->name == f.name) {
+          throw std::logic_error(
+              "ProgramBuilder::build: channel \"" + f.name +
+              "\" declared twice (tasks " + std::to_string(seen.producer) +
+              " and " + std::to_string(t) + ")");
+        }
+      }
+      channels.push_back(PlannedChannel{t, &f, next_slot});
+      next_slot += f.depth;
+    }
+  }
+  opts_.locations_per_task = next_slot;
 
   Program p(specs_.size(), opts_);
   p.declarative_ = true;
@@ -96,6 +132,85 @@ Program ProgramBuilder::build() {
                             a.mode, a.priority, *handle);
       p.links_[t].push_back(Program::DeclaredLink{a.target, a.mode, a.type,
                                                   std::move(handle)});
+    }
+  }
+
+  // Materialize the channels: scale the producer-owned ring slots,
+  // pre-register the producer's write handles (priority 0) and every
+  // consumer's read handles (priority 1), and hand the rings to the rt
+  // endpoints the bodies will drive.
+  for (const PlannedChannel& pc : channels) {
+    auto ch = std::make_unique<Program::FifoChannel>();
+    ch->name = pc.decl->name;
+    ch->producer = pc.producer;
+    ch->first_slot = pc.first_slot;
+    ch->depth = pc.decl->depth;
+    ch->bytes = pc.decl->bytes;
+    ch->type = pc.decl->type;
+    std::vector<rt::Handle2*> ring;
+    for (std::size_t s = 0; s < ch->depth; ++s) {
+      rt::Location& l = p.rt_->location(ch->producer, ch->first_slot + s);
+      if (opts_.dry_run) {
+        l.scale_hint(ch->bytes);
+      } else {
+        l.scale(ch->bytes);
+      }
+      auto h = std::make_unique<rt::Handle2>();
+      p.rt_->declare_insert(ch->producer, l, AccessMode::Write,
+                            /*priority=*/0, *h);
+      ring.push_back(h.get());
+      ch->producer_handles.push_back(std::move(h));
+    }
+    ch->out.adopt(std::move(ring));
+    p.fifos_.push_back(std::move(ch));
+  }
+  for (TaskId t = 0; t < specs_.size(); ++t) {
+    for (const TaskSpec::FifoInDecl& fin : specs_[t].fifo_ins_) {
+      Program::FifoChannel* ch = nullptr;
+      for (auto& c : p.fifos_) {
+        if (c->name == fin.name) {
+          ch = c.get();
+          break;
+        }
+      }
+      if (ch == nullptr) {
+        throw std::logic_error("ProgramBuilder::build: task " +
+                               std::to_string(t) +
+                               " consumes undeclared channel \"" + fin.name +
+                               "\" (no task declared fifo_out on it)");
+      }
+      if (ch->producer == t) {
+        throw std::logic_error(
+            "ProgramBuilder::build: task " + std::to_string(t) +
+            " consumes its own channel \"" + fin.name + "\"");
+      }
+      if (fin.type != nullptr && ch->type != nullptr &&
+          *fin.type != *ch->type) {
+        throw std::logic_error(
+            "ProgramBuilder::build: channel \"" + fin.name +
+            "\" carries items of type " + ch->type->name() + "; task " +
+            std::to_string(t) + " consumes it as " + fin.type->name());
+      }
+      for (const auto& seen : ch->consumers) {
+        if (seen->task == t) {
+          throw std::logic_error("ProgramBuilder::build: task " +
+                                 std::to_string(t) +
+                                 " declares fifo_in twice on channel \"" +
+                                 fin.name + "\"");
+        }
+      }
+      auto end = std::make_unique<Program::FifoConsumerEnd>();
+      end->task = t;
+      std::vector<rt::Handle2*> ring;
+      for (std::size_t s = 0; s < ch->depth; ++s) {
+        rt::Location& l = p.rt_->location(ch->producer, ch->first_slot + s);
+        auto h = std::make_unique<rt::Handle2>();
+        p.rt_->declare_insert(t, l, AccessMode::Read, /*priority=*/1, *h);
+        ring.push_back(h.get());
+        end->handles.push_back(std::move(h));
+      }
+      end->fifo.adopt(std::move(ring));
+      ch->consumers.push_back(std::move(end));
     }
   }
   return p;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <typeinfo>
 #include <vector>
 
@@ -69,6 +70,49 @@ class TaskSpec {
     return access(target, AccessMode::Read, priority, element_type<T>());
   }
 
+  /// Declare this task the producer of FIFO channel `name` (Sec. V-C):
+  /// a ring of `depth` buffers of one T each, carved out of this task's
+  /// slot space at build() time. The body fetches the endpoint with
+  /// Task::fifo_out<T>(name). The producer may run depth-1 items ahead
+  /// of the consumers.
+  template <typename T>
+    requires(!std::is_array_v<T> && !std::is_void_v<T>)
+  TaskSpec& fifo_out(std::string name, std::size_t depth = 2) {
+    return fifo_out_bytes(std::move(name), sizeof(T), depth,
+                          element_type<T>());
+  }
+
+  /// Array-item channel: each pushed item is `count` elements of T.
+  ///   spec.fifo_out<Pixel[]>("frames", width * height);
+  template <typename T>
+    requires(std::is_unbounded_array_v<T>)
+  TaskSpec& fifo_out(std::string name, std::size_t count,
+                     std::size_t depth = 2) {
+    return fifo_out_bytes(std::move(name),
+                          count * sizeof(std::remove_extent_t<T>), depth,
+                          element_type<T>());
+  }
+
+  /// Untyped channel: each item is `bytes` raw bytes (Task::fifo_out<>
+  /// yields the byte view).
+  TaskSpec& fifo_out_bytes(std::string name, std::size_t bytes,
+                           std::size_t depth = 2,
+                           const std::type_info* type = nullptr) {
+    fifo_outs_.push_back(FifoOutDecl{std::move(name), bytes, depth, type});
+    return *this;
+  }
+
+  /// Declare this task a consumer of channel `name` (declared by its
+  /// producer's fifo_out). Every consumer pops every item: with several
+  /// consumers the channel broadcasts (the readers at each ring slot's
+  /// FIFO head share the grant). The element type is checked against the
+  /// producer's declaration at build().
+  template <typename T = void>
+  TaskSpec& fifo_in(std::string name) {
+    fifo_ins_.push_back(FifoInDecl{std::move(name), element_type<T>()});
+    return *this;
+  }
+
   /// Declare the task's iteration count (Task::iterations /
   /// run_iterations). Metadata for the body; links re-insert themselves
   /// each iteration regardless.
@@ -104,6 +148,16 @@ class TaskSpec {
     std::uint64_t priority;
     const std::type_info* type;  // null = untyped declaration
   };
+  struct FifoOutDecl {
+    std::string name;
+    std::size_t bytes;
+    std::size_t depth;
+    const std::type_info* type;  // item type; null = untyped channel
+  };
+  struct FifoInDecl {
+    std::string name;
+    const std::type_info* type;  // null = untyped lookup (no check)
+  };
 
   /// The full declared type (arrays included: `double[]` != `double`,
   /// so the body's link lookup also checks the shape); void = untyped.
@@ -129,6 +183,8 @@ class TaskSpec {
 
   std::vector<OwnDecl> owns_;
   std::vector<AccessDecl> accesses_;
+  std::vector<FifoOutDecl> fifo_outs_;
+  std::vector<FifoInDecl> fifo_ins_;
   std::size_t iterations_ = 0;
   TaskBody init_;
   TaskBody body_;

@@ -1,0 +1,112 @@
+// Typed FIFO-channel endpoints of the v2 facade.
+//
+// "An orwl_fifo primitive is used to store a new version of output data
+// intermediately such that the lock for other readers/writers can
+// quickly be released." (Sec. V-C)
+//
+// A channel is declared on the builder — the producer task calls
+// TaskSpec::fifo_out<T>("name", ...), each consumer fifo_in<T>("name")
+// — and the ring of backing locations, the write/read handles and their
+// FIFO priorities all come out of build(). Bodies then fetch their
+// endpoint by name:
+//
+//   auto frames = task.fifo_out<Pixel[]>("frames");
+//   std::span<Pixel> out = frames.begin_push();
+//   ... fill out ...
+//   frames.end_push();
+//
+// FifoOut/FifoIn are cheap lenses over the program-owned rt endpoints
+// (rt::FifoProducer / rt::FifoConsumer): the ring cursor lives in the
+// program, so looking the endpoint up again mid-stream is harmless.
+// T = void gives the untyped byte view; T[] an array-per-item channel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "orwl/typed.hpp"
+#include "runtime/fifo.hpp"
+
+namespace orwl {
+
+namespace detail {
+
+/// Item element type of a channel: T itself for scalars, the element for
+/// array channels, std::byte for the untyped (void) view.
+template <typename T>
+using fifo_element_t =
+    std::conditional_t<std::is_void_v<T>, std::byte, std::remove_extent_t<T>>;
+
+}  // namespace detail
+
+/// Producer endpoint of a declared channel (Task::fifo_out).
+template <typename T = void>
+class FifoOut {
+ public:
+  using element = detail::fifo_element_t<T>;
+
+  explicit FifoOut(rt::FifoProducer& f) noexcept : f_(&f) {}
+
+  /// Acquire the next ring slot for writing; publish with end_push().
+  /// Blocks while the consumers are `depth - 1` items behind.
+  std::span<element> begin_push() { return as_span<element>(f_->begin_push()); }
+
+  /// Publish the slot written since begin_push().
+  void end_push() { f_->end_push(); }
+
+  /// Scalar convenience: push one item (begin + copy + end).
+  void push(const element& item)
+    requires(!std::is_void_v<T> && !std::is_array_v<T>)
+  {
+    begin_push()[0] = item;
+    end_push();
+  }
+
+  std::size_t depth() const noexcept { return f_->depth(); }
+  std::uint64_t pushed() const noexcept { return f_->pushed(); }
+
+  rt::FifoProducer& raw() noexcept { return *f_; }
+
+ private:
+  rt::FifoProducer* f_;
+};
+
+/// Consumer endpoint of a declared channel (Task::fifo_in). With several
+/// consumers on one channel, all of them pop every item (the readers at
+/// each slot's FIFO head share the grant) — the channel broadcasts.
+template <typename T = void>
+class FifoIn {
+ public:
+  using element = detail::fifo_element_t<T>;
+
+  explicit FifoIn(rt::FifoConsumer& f) noexcept : f_(&f) {}
+
+  /// Acquire the next item for reading; release with end_pop().
+  std::span<const element> begin_pop() {
+    return as_span<element>(f_->begin_pop());
+  }
+
+  /// Release the item read since begin_pop().
+  void end_pop() { f_->end_pop(); }
+
+  /// Scalar convenience: pop one item by value.
+  element pop()
+    requires(!std::is_void_v<T> && !std::is_array_v<T>)
+  {
+    const element v = begin_pop()[0];
+    end_pop();
+    return v;
+  }
+
+  std::size_t depth() const noexcept { return f_->depth(); }
+  std::uint64_t popped() const noexcept { return f_->popped(); }
+
+  rt::FifoConsumer& raw() noexcept { return *f_; }
+
+ private:
+  rt::FifoConsumer* f_;
+};
+
+}  // namespace orwl

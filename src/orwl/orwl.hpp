@@ -18,6 +18,7 @@
 #include "affinity/affinity.hpp"
 #include "affinity/report.hpp"
 #include "orwl/builder.hpp"
+#include "orwl/fifo.hpp"
 #include "orwl/guards.hpp"
 #include "orwl/program.hpp"
 #include "orwl/typed.hpp"

@@ -61,6 +61,77 @@ rt::Handle& Program::declared_handle(TaskId task, LocRef target,
                          std::to_string(target.slot) + ")");
 }
 
+Program::FifoChannel& Program::channel_of(TaskId task, std::string_view name,
+                                          const std::type_info* type,
+                                          const char* what) {
+  for (auto& ch : fifos_) {
+    if (ch->name != name) continue;
+    if (type != nullptr && ch->type != nullptr && *ch->type != *type) {
+      throw std::logic_error(
+          std::string(what) + ": channel \"" + ch->name +
+          "\" was declared with item type " + ch->type->name() +
+          ", requested " + type->name());
+    }
+    return *ch;
+  }
+  throw std::logic_error(std::string(what) + ": task " +
+                         std::to_string(task) + " names unknown channel \"" +
+                         std::string(name) + "\"");
+}
+
+rt::FifoProducer& Program::fifo_producer(TaskId task, std::string_view name,
+                                         const std::type_info* type) {
+  FifoChannel& ch = channel_of(task, name, type, "fifo_out");
+  if (ch.producer != task) {
+    throw std::logic_error("fifo_out: task " + std::to_string(task) +
+                           " is not the producer of channel \"" + ch.name +
+                           "\" (task " + std::to_string(ch.producer) +
+                           " declared fifo_out on it)");
+  }
+  return ch.out;
+}
+
+rt::FifoConsumer& Program::fifo_consumer(TaskId task, std::string_view name,
+                                         const std::type_info* type) {
+  FifoChannel& ch = channel_of(task, name, type, "fifo_in");
+  for (auto& c : ch.consumers) {
+    if (c->task == task) return c->fifo;
+  }
+  throw std::logic_error("fifo_in: task " + std::to_string(task) +
+                         " declared no fifo_in on channel \"" + ch.name +
+                         "\"");
+}
+
+bool Program::fifo_participant(TaskId t) const noexcept {
+  for (const auto& ch : fifos_) {
+    if (ch->producer == t) return true;
+    for (const auto& c : ch->consumers) {
+      if (c->task == t) return true;
+    }
+  }
+  return false;
+}
+
+double Program::reduce_iteration(double value) {
+  Reducer& r = *red_;
+  std::unique_lock lk(r.mu);
+  const std::uint64_t generation = r.generation;
+  r.sum += value;
+  if (++r.arrived == num_tasks()) {
+    // Last one in closes the generation. The published sum cannot be
+    // overwritten under a waiter: the next generation needs all tasks to
+    // arrive again, which requires every waiter here to have returned.
+    r.published = r.sum;
+    r.sum = 0.0;
+    r.arrived = 0;
+    ++r.generation;
+    r.cv.notify_all();
+    return r.published;
+  }
+  r.cv.wait(lk, [&] { return r.generation != generation; });
+  return r.published;
+}
+
 void Program::run() {
   const std::size_t n = bodies_.size();
   for (TaskId t = 0; t < n; ++t) {
@@ -70,11 +141,12 @@ void Program::run() {
     }
     // A declarative task may run body-less only when its declared
     // requests are never granted to anyone (dry-run) or it declared
-    // none (barrier-only): otherwise its enqueued tickets would sit
+    // none (barrier-only): otherwise its enqueued tickets — including
+    // the ones backing its FIFO-channel endpoints — would sit
     // unacquired forever, stalling every later request on those
     // locations until the deadlock guard fires. Fail fast like v1 did.
-    if (declarative_ && !bodies_[t] && !links_[t].empty() &&
-        !rt_->dry_run()) {
+    if (declarative_ && !bodies_[t] &&
+        (!links_[t].empty() || fifo_participant(t)) && !rt_->dry_run()) {
       throw std::logic_error(
           "Program::run: declarative task " + std::to_string(t) +
           " declared location accesses but has no body — its requests "

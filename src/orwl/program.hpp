@@ -15,14 +15,20 @@
 //    ready for lookup (read_link()/write_link()).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
 #include <typeinfo>
 #include <vector>
 
+#include "orwl/fifo.hpp"
 #include "orwl/guards.hpp"
 #include "orwl/typed.hpp"
+#include "runtime/fifo.hpp"
 #include "runtime/handle.hpp"
 #include "runtime/program.hpp"
 
@@ -63,6 +69,14 @@ class Program {
   const topo::Topology& topology() const noexcept { return rt_->topology(); }
   const rt::ProgramStats& stats() const noexcept { return rt_->stats(); }
 
+  /// Decayed measured communication matrix (ORWL_REPLACE metering);
+  /// zero-order until the meter has harvested at least once.
+  tm::CommMatrix measured_matrix() const { return rt_->measured_matrix(); }
+
+  /// Online re-placements performed so far (live; stats().replacements
+  /// is the post-run snapshot).
+  std::uint64_t replacements() const noexcept { return rt_->replacements(); }
+
   /// Iterations declared for `id` via TaskSpec::iterates (0 undeclared).
   std::size_t iterations_of(TaskId id) const;
 
@@ -89,6 +103,26 @@ class Program {
   rt::Program& runtime() noexcept { return *rt_; }
   const rt::Program& runtime() const noexcept { return *rt_; }
 
+  // ---- FIFO channels (Sec. V-C), declared on the builder ------------------
+
+  /// The producer endpoint of channel `name`. Task bodies go through
+  /// Task::fifo_out (which adds the element-type check).
+  /// \throws std::logic_error for an unknown channel, a task that is not
+  ///         its producer, or a declared-type mismatch.
+  rt::FifoProducer& fifo_producer(TaskId task, std::string_view name,
+                                  const std::type_info* type);
+
+  /// The consumer endpoint of channel `name` belonging to `task`.
+  rt::FifoConsumer& fifo_consumer(TaskId task, std::string_view name,
+                                  const std::type_info* type);
+
+  /// All-task sum reduction used by the converged-predicate iteration
+  /// driver: blocks until every task of the program has contributed one
+  /// value for the current generation, then returns the global sum to
+  /// all of them. Every task must call it the same number of times
+  /// (Task::run_iterations(pred, body) guarantees that).
+  double reduce_iteration(double value);
+
  private:
   friend class Task;
   friend class ProgramBuilder;
@@ -107,12 +141,55 @@ class Program {
   rt::Handle& declared_handle(TaskId task, LocRef target, AccessMode mode,
                               const std::type_info* type);
 
+  /// One consumer endpoint of a channel: the task, its rt consumer, and
+  /// the pre-declared read handles the consumer drives (ring order).
+  struct FifoConsumerEnd {
+    TaskId task = 0;
+    rt::FifoConsumer fifo;
+    std::vector<std::unique_ptr<rt::Handle2>> handles;
+  };
+
+  /// One declared channel: `depth` consecutive producer-owned slots
+  /// starting at first_slot back the ring; handles live here for the
+  /// program's lifetime, the rt endpoints adopt() them.
+  struct FifoChannel {
+    std::string name;
+    TaskId producer = 0;
+    std::size_t first_slot = 0;
+    std::size_t depth = 0;
+    std::size_t bytes = 0;
+    const std::type_info* type = nullptr;  // null = untyped channel
+    rt::FifoProducer out;
+    std::vector<std::unique_ptr<rt::Handle2>> producer_handles;
+    std::vector<std::unique_ptr<FifoConsumerEnd>> consumers;
+  };
+
+  FifoChannel& channel_of(TaskId task, std::string_view name,
+                          const std::type_info* type, const char* what);
+
+  /// Whether `t` produces or consumes any declared channel (such a task
+  /// needs a body even with an empty link table: its channel handles
+  /// hold queue tickets).
+  bool fifo_participant(TaskId t) const noexcept;
+
+  /// State of reduce_iteration (heap-allocated: Program stays movable).
+  struct Reducer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t arrived = 0;
+    std::uint64_t generation = 0;
+    double sum = 0.0;
+    double published = 0.0;
+  };
+
   std::unique_ptr<rt::Program> rt_;
   bool declarative_ = false;
   std::vector<std::vector<DeclaredLink>> links_;  // per task, build order
   std::vector<std::size_t> iterations_;           // per task, 0 undeclared
   std::vector<TaskBody> init_;                    // declarative init phase
   std::vector<TaskBody> bodies_;
+  std::vector<std::unique_ptr<FifoChannel>> fifos_;  // declaration order
+  std::unique_ptr<Reducer> red_ = std::make_unique<Reducer>();
 };
 
 /// Per-task view of a v2 program — the argument of every task body.
@@ -182,6 +259,26 @@ class Task {
         prog_->declared_handle(id(), r, AccessMode::Read, &typeid(T)));
   }
 
+  // ---- declared FIFO channels ---------------------------------------------
+
+  /// The producer endpoint of the channel this task declared with
+  /// TaskSpec::fifo_out. The declared type must match (T = void for the
+  /// untyped byte view).
+  template <typename T = void>
+  FifoOut<T> fifo_out(std::string_view name) {
+    const std::type_info* type = nullptr;
+    if constexpr (!std::is_void_v<T>) type = &typeid(T);
+    return FifoOut<T>(prog_->fifo_producer(id(), name, type));
+  }
+
+  /// The consumer endpoint declared with TaskSpec::fifo_in.
+  template <typename T = void>
+  FifoIn<T> fifo_in(std::string_view name) {
+    const std::type_info* type = nullptr;
+    if constexpr (!std::is_void_v<T>) type = &typeid(T);
+    return FifoIn<T>(prog_->fifo_consumer(id(), name, type));
+  }
+
   // ---- phases -------------------------------------------------------------
 
   /// orwl_schedule (imperative mode only: declarative bodies start after
@@ -198,17 +295,47 @@ class Task {
   /// The iteration driver: run `body(iter)` k times — the Handle2
   /// re-insert cycle keeps all links synchronized between iterations, so
   /// this replaces the hand-rolled per-iteration loops. No-op in
-  /// dry-run programs.
+  /// dry-run programs. Each iteration boundary ticks the measurement-
+  /// driven re-placement engine (a relaxed counter when ORWL_REPLACE is
+  /// off).
   template <typename F>
+    requires std::is_invocable_v<F&, std::size_t>
   void run_iterations(std::size_t k, F&& body) {
     if (dry_run()) return;
-    for (std::size_t i = 0; i < k; ++i) body(i);
+    for (std::size_t i = 0; i < k; ++i) {
+      body(i);
+      ctx_->program().replace_tick();
+    }
   }
 
   /// Iteration driver over the declared iterates(n) count.
   template <typename F>
+    requires std::is_invocable_v<F&, std::size_t>
   void run_iterations(F&& body) {
     run_iterations(iterations(), std::forward<F>(body));
+  }
+
+  /// Converged-predicate iteration driver: `body(iter)` returns this
+  /// task's local contribution (e.g. its block's residual), the values
+  /// are sum-reduced across ALL tasks of the program at the iteration
+  /// boundary, and every task keeps iterating until `pred(global_sum)`
+  /// says stop. Because each task evaluates the same predicate on the
+  /// same global sum, termination is uniform — no task can leave the
+  /// loop while another re-inserts its locks. Every task of the program
+  /// must drive its loop through this overload (the reduction blocks
+  /// for all of them). Returns the number of iterations executed
+  /// (0 in dry-run programs).
+  template <typename Pred, typename F>
+    requires(std::is_invocable_r_v<bool, Pred&, double> &&
+             std::is_invocable_r_v<double, F&, std::size_t>)
+  std::size_t run_iterations(Pred&& pred, F&& body) {
+    if (dry_run()) return 0;
+    for (std::size_t i = 0;; ++i) {
+      const double local = body(i);
+      const double global = prog_->reduce_iteration(local);
+      ctx_->program().replace_tick();
+      if (pred(global)) return i + 1;
+    }
   }
 
   /// The wrapped v1 context — escape hatch for rt:: interop (FIFO

@@ -1,0 +1,77 @@
+#include "runtime/comm_meter.hpp"
+
+#include <algorithm>
+
+namespace orwl::rt {
+
+namespace {
+
+constexpr std::size_t kCellsPerLine = 64 / sizeof(std::atomic<std::uint64_t>);
+
+std::size_t padded_stride(std::size_t cells) {
+  return (cells + kCellsPerLine - 1) / kCellsPerLine * kCellsPerLine;
+}
+
+}  // namespace
+
+CommMeter::CommMeter(std::size_t num_shards, std::size_t num_tasks)
+    : tasks_(num_tasks),
+      shards_(std::max<std::size_t>(1, num_shards)),
+      stride_(padded_stride(num_tasks * num_tasks)),
+      cells_(new std::atomic<std::uint64_t>[shards_ * stride_]),
+      counters_(new ShardCounters[shards_]) {
+  for (std::size_t i = 0; i < shards_ * stride_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void CommMeter::record(std::size_t shard, TaskId from, TaskId to,
+                       std::uint64_t bytes, bool remote) noexcept {
+  if (from >= tasks_ || to >= tasks_ || from == to) return;
+  if (shard >= shards_) shard = 0;
+  cell(shard, from, to)
+      .fetch_add(std::max<std::uint64_t>(1, bytes),
+                 std::memory_order_relaxed);
+  counters_[shard].handoffs.fetch_add(1, std::memory_order_relaxed);
+  if (remote) {
+    counters_[shard].remote.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double CommMeter::harvest(tm::CommMatrix& m, double decay) {
+  tm::CommMatrix delta(tasks_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < tasks_; ++i) {
+    for (std::size_t j = i + 1; j < tasks_; ++j) {
+      std::uint64_t v = 0;
+      for (std::size_t s = 0; s < shards_; ++s) {
+        v += cell(s, i, j).exchange(0, std::memory_order_relaxed);
+        v += cell(s, j, i).exchange(0, std::memory_order_relaxed);
+      }
+      if (v != 0) {
+        delta.set(i, j, static_cast<double>(v));
+        total += static_cast<double>(v);
+      }
+    }
+  }
+  m.decay_accumulate(delta, decay);
+  return total;
+}
+
+std::uint64_t CommMeter::handoffs() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    n += counters_[s].handoffs.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t CommMeter::remote_handoffs() const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    n += counters_[s].remote.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+}  // namespace orwl::rt

@@ -1,8 +1,30 @@
 #include "runtime/fifo.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace orwl::rt {
+
+namespace {
+
+void check_adoptable(const std::vector<Handle2*>& handles, bool linked,
+                     const char* who) {
+  if (linked) {
+    throw std::logic_error(std::string(who) + ": already linked");
+  }
+  if (handles.size() < 2) {
+    throw std::invalid_argument(std::string(who) +
+                                ": adopt needs a ring of >= 2 handles");
+  }
+  for (const Handle2* h : handles) {
+    if (h == nullptr || !h->linked()) {
+      throw std::invalid_argument(
+          std::string(who) + ": adopted handles must be inserted already");
+    }
+  }
+}
+
+}  // namespace
 
 void FifoProducer::link(TaskContext& ctx, TaskId owner,
                         std::size_t first_slot, std::size_t depth,
@@ -18,8 +40,14 @@ void FifoProducer::link(TaskContext& ctx, TaskId owner,
     if (ctx.id() == owner) loc.scale(bytes);
     auto h = std::make_unique<Handle2>();
     h->write_insert(ctx, loc, /*priority=*/0);
-    handles_.push_back(std::move(h));
+    handles_.push_back(h.get());
+    owned_.push_back(std::move(h));
   }
+}
+
+void FifoProducer::adopt(std::vector<Handle2*> handles) {
+  check_adoptable(handles, !handles_.empty(), "FifoProducer");
+  handles_ = std::move(handles);
 }
 
 std::span<std::byte> FifoProducer::begin_push() {
@@ -50,8 +78,14 @@ void FifoConsumer::link(TaskContext& ctx, TaskId owner,
     Location& loc = ctx.location(owner, first_slot + s);
     auto h = std::make_unique<Handle2>();
     h->read_insert(ctx, loc, /*priority=*/1);
-    handles_.push_back(std::move(h));
+    handles_.push_back(h.get());
+    owned_.push_back(std::move(h));
   }
+}
+
+void FifoConsumer::adopt(std::vector<Handle2*> handles) {
+  check_adoptable(handles, !handles_.empty(), "FifoConsumer");
+  handles_ = std::move(handles);
 }
 
 std::span<const std::byte> FifoConsumer::begin_pop() {

@@ -32,6 +32,14 @@ class FifoProducer {
   void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
             std::size_t depth, std::size_t bytes);
 
+  /// Drive pre-declared handles instead of creating them: `handles` are
+  /// the channel's write handles in ring order, already inserted (e.g.
+  /// via Program::declare_insert by the v2 builder) and owned elsewhere
+  /// for at least this object's lifetime.
+  /// \throws std::invalid_argument for < 2 or unlinked handles;
+  ///         std::logic_error when already linked.
+  void adopt(std::vector<Handle2*> handles);
+
   /// Acquire the next slot for writing.
   /// \return The slot's buffer to fill; publish with end_push().
   std::span<std::byte> begin_push();
@@ -43,7 +51,8 @@ class FifoProducer {
   std::uint64_t pushed() const noexcept { return pushed_; }
 
  private:
-  std::vector<std::unique_ptr<Handle2>> handles_;
+  std::vector<Handle2*> handles_;                 // ring order
+  std::vector<std::unique_ptr<Handle2>> owned_;   // link() storage
   std::size_t next_ = 0;
   bool open_ = false;
   std::uint64_t pushed_ = 0;
@@ -56,6 +65,10 @@ class FifoConsumer {
   void link(TaskContext& ctx, TaskId owner, std::size_t first_slot,
             std::size_t depth);
 
+  /// Drive pre-declared read handles in ring order (see
+  /// FifoProducer::adopt).
+  void adopt(std::vector<Handle2*> handles);
+
   /// Acquire the next item for reading.
   /// \return The slot's contents; release with end_pop().
   std::span<const std::byte> begin_pop();
@@ -67,7 +80,8 @@ class FifoConsumer {
   std::uint64_t popped() const noexcept { return popped_; }
 
  private:
-  std::vector<std::unique_ptr<Handle2>> handles_;
+  std::vector<Handle2*> handles_;                 // ring order
+  std::vector<std::unique_ptr<Handle2>> owned_;   // link() storage
   std::size_t next_ = 0;
   bool open_ = false;
   std::uint64_t popped_ = 0;

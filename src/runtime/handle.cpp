@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "runtime/comm_meter.hpp"
+
 namespace orwl::rt {
 
 namespace {
@@ -51,6 +53,16 @@ void Handle::acquire() {
   if (acquired_) throw std::logic_error("Handle::acquire: already acquired");
   loc_->queue().acquire(ticket_);
   acquired_ = true;
+  // Measured communication matrix (ORWL_REPLACE): the grant we just got
+  // is a hand-off from whoever released the location last — the pair
+  // (releaser, us) moved this location's bytes between their caches and
+  // NUMA nodes. Gated on the meter so the Off policy costs one branch.
+  if (prog_ != nullptr && prog_->comm_meter() != nullptr) {
+    const std::int64_t from = loc_->last_releaser();
+    if (from >= 0 && static_cast<TaskId>(from) != task_) {
+      prog_->record_handoff(static_cast<TaskId>(from), task_, *loc_);
+    }
+  }
 }
 
 void Handle::release() {
@@ -62,6 +74,11 @@ void Handle::release() {
   if (mode_ == AccessMode::Write && prog_ != nullptr &&
       prog_->data_transfer() == DataTransferPolicy::Adaptive) {
     loc_->note_writer_node(prog_->placed_node_of_task(task_));
+  }
+  // Leave our task id on the location before the hand-off fires, so the
+  // next grantee can attribute the transfer (see Handle::acquire).
+  if (prog_ != nullptr && prog_->comm_meter() != nullptr) {
+    loc_->note_releaser(task_);
   }
   if (iterative_) {
     ticket_ = loc_->queue().reinsert_and_release(ticket_, mode_);

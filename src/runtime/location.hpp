@@ -145,6 +145,21 @@ class Location : private GrantHook {
   /// \param node Topology NUMA-node index of the releasing writer.
   void note_writer_node(int node) noexcept;
 
+  /// Record the task that just released this location's lock (any access
+  /// mode). The next acquirer reads it to attribute the hand-off in the
+  /// measured communication matrix. Relaxed would suffice for the data —
+  /// the queue's grant publication orders the store before the matching
+  /// load — release/acquire keeps the pairing self-evident.
+  void note_releaser(TaskId task) noexcept {
+    last_releaser_.store(static_cast<std::int64_t>(task),
+                         std::memory_order_release);
+  }
+
+  /// Task of the most recent release, or -1 before the first one.
+  std::int64_t last_releaser() const noexcept {
+    return last_releaser_.load(std::memory_order_acquire);
+  }
+
   /// Consecutive-writer threshold of the adaptive policy (K in the
   /// ORWL_DATA_TRANSFER_HYSTERESIS contract). Not thread-safe; the
   /// Program configures it before concurrent use. 0 is clamped to 1.
@@ -193,6 +208,7 @@ class Location : private GrantHook {
   std::atomic<int> home_node_{-1};
   std::atomic<std::uint64_t> writer_streak_{pack_streak(-1, 0)};
   std::atomic<std::uint64_t> transfers_{0};
+  std::atomic<std::int64_t> last_releaser_{-1};
 };
 
 }  // namespace orwl::rt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/comm_meter.hpp"
 #include "runtime/handle.hpp"
 #include "support/env.hpp"
 #include "treematch/strategies.hpp"
@@ -37,7 +38,46 @@ std::size_t resolve_transfer_hysteresis(std::size_t from_options) {
   return env > 0 ? static_cast<std::size_t>(env) : 2;
 }
 
+ReplaceMode resolve_replace(ReplaceMode mode) {
+  if (mode != ReplaceMode::FromEnv) return mode;
+  const auto v = support::env_string(kReplaceEnvVar);
+  if (v.has_value()) {
+    if (support::iequals(*v, "auto")) return ReplaceMode::Auto;
+    if (support::iequals(*v, "passive")) return ReplaceMode::Passive;
+  }
+  return ReplaceMode::Off;
+}
+
+double resolve_replace_threshold(double from_options) {
+  if (from_options > 0.0) return from_options;
+  const double env = support::env_double(kReplaceThresholdEnvVar, 0.25);
+  return env > 0.0 ? env : 0.25;
+}
+
+double resolve_replace_decay(double from_options) {
+  const double v = from_options >= 0.0
+                       ? from_options
+                       : support::env_double(kReplaceDecayEnvVar, 0.5);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+std::size_t resolve_replace_interval(std::size_t from_options) {
+  if (from_options != 0) return from_options;
+  const long env = support::env_long(kReplaceIntervalEnvVar, -1);
+  return env > 0 ? static_cast<std::size_t>(env) : 16;
+}
+
 }  // namespace
+
+const char* to_string(ReplaceMode m) noexcept {
+  switch (m) {
+    case ReplaceMode::Off: return "off";
+    case ReplaceMode::Passive: return "passive";
+    case ReplaceMode::Auto: return "auto";
+    case ReplaceMode::FromEnv: return "from-env";
+  }
+  return "?";
+}
 
 Program::Program(std::size_t num_tasks, ProgramOptions opts)
     : num_tasks_(num_tasks), opts_(opts) {
@@ -84,6 +124,14 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   data_policy_ = resolve_data_transfer(opts_.data_transfer);
   const std::size_t hysteresis =
       resolve_transfer_hysteresis(opts_.data_transfer_hysteresis);
+  replace_policy_ = resolve_replace(opts_.replace);
+  replace_threshold_ = resolve_replace_threshold(opts_.replace_threshold);
+  replace_decay_ = resolve_replace_decay(opts_.replace_decay);
+  replace_interval_ = resolve_replace_interval(opts_.replace_interval);
+  if (replace_policy_ != ReplaceMode::Off) {
+    meter_ =
+        std::make_unique<CommMeter>(control_->num_shards(), num_tasks_);
+  }
   task_node_ = std::make_unique<std::atomic<int>[]>(num_tasks_);
   for (TaskId t = 0; t < num_tasks_; ++t) {
     task_node_[t].store(-1, std::memory_order_relaxed);
@@ -173,11 +221,13 @@ void Program::declare_insert(TaskId task, Location& loc, AccessMode mode,
   handle.mode_ = mode;
   pending_.push_back(PendingInsert{loc.id(), mode, priority, task,
                                    insert_seq_[task]++, &handle});
+  graph_version_.fetch_add(1, std::memory_order_release);
 }
 
 void Program::register_insert(TaskId task, Location& loc, AccessMode mode,
                               std::uint64_t priority, Handle* handle) {
   std::unique_lock lock(graph_mu_);
+  graph_version_.fetch_add(1, std::memory_order_release);
   if (!scheduled_) {
     pending_.push_back(
         PendingInsert{loc.id(), mode, priority, task, insert_seq_[task]++,
@@ -265,8 +315,10 @@ void Program::freeze_and_place() {
 
 void Program::dependency_get() {
   tm::CommMatrix m;
+  std::uint64_t version = 0;
   {
     std::unique_lock lock(graph_mu_);
+    version = graph_version_.load(std::memory_order_relaxed);
     if (!scheduled_ && !pending_.empty()) {
       // Pre-run extraction for declaratively wired programs: the graph
       // itself stays frozen-at-schedule, but the matrix can already be
@@ -288,6 +340,7 @@ void Program::dependency_get() {
   std::unique_lock lock(place_mu_);
   matrix_ = std::move(m);
   have_matrix_ = true;
+  matrix_version_ = version;
 }
 
 std::vector<int> Program::control_associates() const {
@@ -363,27 +416,31 @@ void Program::update_task_nodes_locked() {
 void Program::bind_location_memory_locked() {
   if (data_policy_ == DataTransferPolicy::Off) return;
   std::size_t bound = 0;
+  std::size_t skipped = 0;
   for (auto& loc : locations_) {
     const int node = task_node_[loc->owner()].load(std::memory_order_relaxed);
+    if (node < 0) continue;
+    if (loc->data() == nullptr) {
+      // Hint-only (scale_hint) or never-scaled buffer: bind_home/migrate
+      // would silently no-op — skip and count instead of reporting a
+      // successful binding that never happened.
+      ++skipped;
+      continue;
+    }
     loc->bind_home(node);
-    if (node >= 0) ++bound;
+    ++bound;
   }
   stats_.locations_bound = bound;
+  stats_.locations_skipped_unsized = skipped;
 }
 
-void Program::affinity_compute() {
-  std::unique_lock lock(place_mu_);
-  if (!have_matrix_) {
-    lock.unlock();
-    dependency_get();
-    lock.lock();
-  }
+void Program::compute_placement_locked(const tm::CommMatrix& m) {
   aff::ComputeOptions copts;
   copts.num_control_threads = control_->num_threads();
   copts.control_associate = control_associates();
   copts.engine = opts_.engine;
   try {
-    placement_ = aff::compute_placement(matrix_, *topology_, copts);
+    placement_ = aff::compute_placement(m, *topology_, copts);
     // Shard alignment: control thread j serves shard j % num_shards. Once
     // the first pass tells us which shard each task's PU belongs to,
     // re-associate every control thread with a task of its own shard and
@@ -392,7 +449,7 @@ void Program::affinity_compute() {
     const std::vector<int> aligned = shard_aligned_associates(placement_);
     if (aligned != copts.control_associate) {
       copts.control_associate = aligned;
-      placement_ = aff::compute_placement(matrix_, *topology_, copts);
+      placement_ = aff::compute_placement(m, *topology_, copts);
     }
   } catch (const std::invalid_argument&) {
     // Algorithm 1 requires a symmetric tree; real hosts occasionally are
@@ -403,12 +460,34 @@ void Program::affinity_compute() {
     placement_.control_pu.assign(control_->num_threads(), -1);
     stats_.affinity_fallback = true;
   }
+  placement_recomputes_.fetch_add(1, std::memory_order_relaxed);
   have_placement_ = true;
+  placement_matrix_ = m;
   route_queues_locked();
   // The memory half of the placement: every location buffer moves to its
   // owner's NUMA node (re-run here on every dynamic re-placement too).
   update_task_nodes_locked();
   bind_location_memory_locked();
+}
+
+void Program::affinity_compute() {
+  std::unique_lock lock(place_mu_);
+  if (!have_matrix_) {
+    lock.unlock();
+    dependency_get();
+    lock.lock();
+  }
+  // Version stamp: when the current placement was computed from a matrix
+  // of the current task-location graph, the Algorithm 1 recompute would
+  // reproduce it — skip it entirely (the schedule barrier of a program
+  // that already placed itself pre-run hits this path).
+  const std::uint64_t version = graph_version_.load(std::memory_order_acquire);
+  if (have_placement_ && placement_version_ == version &&
+      matrix_version_ == version) {
+    return;
+  }
+  compute_placement_locked(matrix_);
+  placement_version_ = matrix_version_;
 }
 
 void Program::affinity_set() {
@@ -418,6 +497,10 @@ void Program::affinity_set() {
     affinity_compute();
     lock.lock();
   }
+  bind_threads_locked();
+}
+
+void Program::bind_threads_locked() {
   if (!opts_.bind_threads) return;
   // Bind all registered task threads.
   for (TaskId t = 0; t < num_tasks_; ++t) {
@@ -448,6 +531,71 @@ void Program::bind_self(TaskId tid) {
   // Re-assert the binding from the thread itself (affinity_set already
   // bound us by handle; this also covers threads registered late).
   topo::bind_current_thread(topo::CpuSet::single(pu));
+}
+
+void Program::record_handoff(TaskId from, TaskId to,
+                             const Location& loc) noexcept {
+  CommMeter* meter = meter_.get();
+  if (meter == nullptr) return;
+  const int from_node = placed_node_of_task(from);
+  const int to_node = placed_node_of_task(to);
+  const bool remote = from_node >= 0 && to_node >= 0 && from_node != to_node;
+  meter->record(loc.queue().control_shard(), from, to,
+                static_cast<std::uint64_t>(loc.size()), remote);
+}
+
+void Program::replace_tick() noexcept {
+  if (meter_ == nullptr) return;
+  const std::uint64_t n =
+      replace_ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(replace_interval_) * num_tasks_;
+  if (period == 0 || n % period != 0) return;
+  // Single flight: whichever task crosses the boundary first runs the
+  // check; concurrent crossers skip instead of queueing up behind the
+  // placement mutex.
+  if (replace_busy_.exchange(true, std::memory_order_acquire)) return;
+  try {
+    check_replacement();
+  } catch (...) {
+    // A failed check must never take the program down; the next interval
+    // simply tries again.
+  }
+  replace_busy_.store(false, std::memory_order_release);
+}
+
+void Program::check_replacement() {
+  std::unique_lock lock(place_mu_);
+  replace_checks_.fetch_add(1, std::memory_order_relaxed);
+  meter_->harvest(measured_, replace_decay_);
+  if (measured_.total_volume() <= 0.0) return;
+  // Compare against the matrix the *current* placement was computed from
+  // (declared at first, measured after a re-placement): once the program
+  // has been re-placed onto the measured pattern, an unchanged pattern
+  // must not keep re-triggering.
+  const tm::CommMatrix& baseline =
+      placement_matrix_.order() != 0
+          ? placement_matrix_
+          : (have_matrix_ ? matrix_ : measured_);
+  const double divergence = tm::normalized_distance(measured_, baseline);
+  if (divergence <= replace_threshold_) return;
+  replace_triggers_.fetch_add(1, std::memory_order_relaxed);
+  if (replace_policy_ != ReplaceMode::Auto || !have_placement_) {
+    return;  // passive: record the trigger, never move anything
+  }
+  compute_placement_locked(measured_);
+  // Stamp the measured placement as current for this graph so a later
+  // affinity_compute() on the unchanged graph does not clobber it with
+  // the stale declared matrix.
+  placement_version_ = graph_version_.load(std::memory_order_acquire);
+  matrix_version_ = placement_version_;
+  bind_threads_locked();
+  replacements_.fetch_add(1, std::memory_order_relaxed);
+}
+
+tm::CommMatrix Program::measured_matrix() const {
+  std::unique_lock lock(place_mu_);
+  return measured_;
 }
 
 const tm::CommMatrix& Program::comm_matrix() const {
@@ -505,6 +653,16 @@ void Program::run() {
   stats_.data_transfers = transfers;
   stats_.guard_teardown_failures =
       teardown_failures_.load(std::memory_order_relaxed);
+  stats_.placement_recomputes =
+      placement_recomputes_.load(std::memory_order_relaxed);
+  stats_.replace_checks = replace_checks_.load(std::memory_order_relaxed);
+  stats_.replace_triggers =
+      replace_triggers_.load(std::memory_order_relaxed);
+  stats_.replacements = replacements_.load(std::memory_order_relaxed);
+  if (meter_) {
+    stats_.measured_handoffs = meter_->handoffs();
+    stats_.measured_remote_handoffs = meter_->remote_handoffs();
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -36,6 +36,7 @@ namespace orwl::rt {
 
 class TaskContext;
 class Handle;
+class CommMeter;
 
 using TaskFn = std::function<void(TaskContext&)>;
 
@@ -53,6 +54,39 @@ enum class DataTransferMode {
   Adaptive,  ///< Owner + grant-time migration toward recent writers
   FromEnv,   ///< follow ORWL_DATA_TRANSFER (default: owner)
 };
+
+/// Online re-placement policy (ORWL_REPLACE / ProgramOptions::replace):
+/// whether the runtime measures the communication matrix the grant engine
+/// actually observes and re-runs Algorithm 1 when it diverges from the
+/// declared one.
+enum class ReplaceMode {
+  Off,      ///< no measurement, no re-placement (zero overhead)
+  Passive,  ///< measure and count divergence triggers, never move anything
+  Auto,     ///< measure and re-place when divergence crosses the threshold
+  FromEnv,  ///< follow ORWL_REPLACE (default: off)
+};
+
+const char* to_string(ReplaceMode m) noexcept;
+
+/// Environment override for the re-placement policy; accepted values are
+/// "off", "passive" and "auto" (default: off).
+inline constexpr const char* kReplaceEnvVar = "ORWL_REPLACE";
+
+/// Divergence threshold (0..1, tm::normalized_distance between the
+/// measured and the placement-defining matrix) above which a re-placement
+/// check triggers. Default 0.25.
+inline constexpr const char* kReplaceThresholdEnvVar =
+    "ORWL_REPLACE_THRESHOLD";
+
+/// Exponential decay of the measured matrix per harvest:
+/// m = decay * m + delta. Default 0.5; 0 forgets everything between
+/// checks, values near 1 average over many intervals.
+inline constexpr const char* kReplaceDecayEnvVar = "ORWL_REPLACE_DECAY";
+
+/// Iterations (per task) between divergence checks at run_iterations
+/// boundaries. Default 16.
+inline constexpr const char* kReplaceIntervalEnvVar =
+    "ORWL_REPLACE_INTERVAL";
 
 struct ProgramOptions {
   std::size_t locations_per_task = 1;
@@ -98,6 +132,22 @@ struct ProgramOptions {
   /// granted writers on the same non-buffer node). 0 = follow
   /// ORWL_DATA_TRANSFER_HYSTERESIS (default 2).
   std::size_t data_transfer_hysteresis = 0;
+
+  /// Online re-placement policy (measured-matrix feedback loop).
+  ReplaceMode replace = ReplaceMode::FromEnv;
+
+  /// Divergence threshold for the re-placement trigger; 0 = follow
+  /// ORWL_REPLACE_THRESHOLD (default 0.25).
+  double replace_threshold = 0.0;
+
+  /// Measured-matrix decay per harvest; negative = follow
+  /// ORWL_REPLACE_DECAY (default 0.5). 0 is a valid explicit value
+  /// (forget everything between checks).
+  double replace_decay = -1.0;
+
+  /// Per-task iterations between divergence checks; 0 = follow
+  /// ORWL_REPLACE_INTERVAL (default 16).
+  std::size_t replace_interval = 0;
 };
 
 struct ProgramStats {
@@ -120,6 +170,27 @@ struct ProgramStats {
   /// Algorithm 1 could not run (e.g. asymmetric host topology) and the
   /// module fell back to the compact-cores placement.
   bool affinity_fallback = false;
+
+  // ---- online re-placement (ORWL_REPLACE) --------------------------------
+  /// Times Algorithm 1 actually ran (placements computed). The version
+  /// stamp makes repeated affinity_compute() calls on an unchanged graph
+  /// hit 1, not N.
+  std::uint64_t placement_recomputes = 0;
+  /// Divergence checks performed at run_iterations boundaries.
+  std::uint64_t replace_checks = 0;
+  /// Checks whose divergence exceeded the threshold (passive mode stops
+  /// here; auto mode continues into a re-placement).
+  std::uint64_t replace_triggers = 0;
+  /// Re-placements performed (auto mode only).
+  std::uint64_t replacements = 0;
+  /// Lock hand-offs observed by the measurement meter.
+  std::uint64_t measured_handoffs = 0;
+  /// The subset of measured hand-offs crossing NUMA nodes.
+  std::uint64_t measured_remote_handoffs = 0;
+  /// Placed locations whose buffer was hint-only/zero-sized at binding
+  /// time: Location::bind_home would silently no-op on them, so they are
+  /// skipped and counted here instead of inflating locations_bound.
+  std::size_t locations_skipped_unsized = 0;
 };
 
 class Program {
@@ -169,6 +240,49 @@ class Program {
   }
   bool dry_run() const noexcept { return opts_.dry_run; }
   bool scheduled() const noexcept { return scheduled_; }
+
+  // ---- online re-placement (the measured-matrix feedback loop) ------------
+
+  /// The resolved re-placement policy (options/env, fixed at
+  /// construction).
+  ReplaceMode replace_mode() const noexcept { return replace_policy_; }
+  double replace_threshold() const noexcept { return replace_threshold_; }
+  double replace_decay() const noexcept { return replace_decay_; }
+  std::size_t replace_interval() const noexcept { return replace_interval_; }
+
+  /// The hand-off meter; null under ReplaceMode::Off.
+  CommMeter* comm_meter() noexcept { return meter_.get(); }
+
+  /// Iteration-boundary hook of the feedback loop: every task calls this
+  /// once per run_iterations iteration. Cheap (one relaxed increment)
+  /// until the check interval elapses; then exactly one caller harvests
+  /// the meter, evaluates the divergence and — under ReplaceMode::Auto —
+  /// re-places the program. Never throws; a failed check is dropped.
+  void replace_tick() noexcept;
+
+  /// Snapshot of the decaying measured communication matrix (empty until
+  /// the first harvest).
+  tm::CommMatrix measured_matrix() const;
+
+  /// Live re-placement count (also snapshotted into stats() at the end
+  /// of run()).
+  std::uint64_t replacements() const noexcept {
+    return replacements_.load(std::memory_order_relaxed);
+  }
+
+  /// Live count of Algorithm 1 runs (also snapshotted into stats()).
+  /// Lets version-stamp tests observe skipped recomputes before run().
+  std::uint64_t placement_recomputes() const noexcept {
+    return placement_recomputes_.load(std::memory_order_relaxed);
+  }
+
+  /// Version of the task-location graph: bumped by every declared or
+  /// registered insert. The matrix and the placement are stamped with the
+  /// version they were computed from, so an affinity_compute() against an
+  /// unchanged graph skips the Algorithm 1 recompute entirely.
+  std::uint64_t graph_version() const noexcept {
+    return graph_version_.load(std::memory_order_acquire);
+  }
 
   /// Frozen at schedule(); live inserts afterwards keep appending to it.
   const TaskGraph& graph() const;
@@ -235,6 +349,10 @@ class Program {
     teardown_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Called by Handle::acquire when the meter is on: attribute one lock
+  /// hand-off `from` -> `to` on `loc` to the measured matrix.
+  void record_handoff(TaskId from, TaskId to, const Location& loc) noexcept;
+
   /// The orwl_schedule barrier.
   void schedule_barrier(TaskId tid);
 
@@ -274,8 +392,25 @@ class Program {
 
   /// Bind every location buffer to its owner's placed NUMA node (the
   /// memory side of affinity_compute; re-run on dynamic re-placement).
-  /// Caller holds place_mu_.
+  /// Hint-only/zero-sized buffers are skipped and counted — bind_home
+  /// would silently no-op on them. Caller holds place_mu_.
   void bind_location_memory_locked();
+
+  /// Algorithm 1 on an explicit matrix, plus everything that must follow
+  /// a new placement: queue re-routing, task-node refresh, memory
+  /// binding. Caller holds place_mu_. The core shared by the declared
+  /// path (affinity_compute) and the measured path (check_replacement).
+  void compute_placement_locked(const tm::CommMatrix& m);
+
+  /// Re-bind live compute and control threads to the current placement
+  /// (the body of affinity_set; re-run after an online re-placement).
+  /// Caller holds place_mu_.
+  void bind_threads_locked();
+
+  /// The single-flight body of replace_tick: harvest the meter, compare
+  /// the measured matrix against the one the current placement was
+  /// computed from, and re-place under ReplaceMode::Auto.
+  void check_replacement();
 
   const std::size_t num_tasks_;
   ProgramOptions opts_;
@@ -313,6 +448,32 @@ class Program {
   bool have_matrix_ = false;
   tm::Placement placement_;
   bool have_placement_ = false;
+
+  // Version stamps: the graph version the matrix / placement were
+  // computed from (~0 = never). graph_version_ is bumped under graph_mu_;
+  // the stamps are guarded by place_mu_.
+  static constexpr std::uint64_t kNeverComputed = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> graph_version_{0};
+  std::uint64_t matrix_version_ = kNeverComputed;
+  std::uint64_t placement_version_ = kNeverComputed;
+
+  // Online re-placement state. The measured matrix and the matrix the
+  // current placement was computed from (declared at first, measured
+  // after a re-placement — the trigger compares against what the
+  // placement actually optimizes) are guarded by place_mu_.
+  ReplaceMode replace_policy_ = ReplaceMode::Off;
+  double replace_threshold_ = 0.25;
+  double replace_decay_ = 0.5;
+  std::size_t replace_interval_ = 16;
+  std::unique_ptr<CommMeter> meter_;
+  tm::CommMatrix measured_;
+  tm::CommMatrix placement_matrix_;
+  std::atomic<std::uint64_t> replace_ticks_{0};
+  std::atomic<bool> replace_busy_{false};
+  std::atomic<std::uint64_t> replace_checks_{0};
+  std::atomic<std::uint64_t> replace_triggers_{0};
+  std::atomic<std::uint64_t> replacements_{0};
+  std::atomic<std::uint64_t> placement_recomputes_{0};
 
   // Thread registry for affinity_set.
   std::vector<std::thread::native_handle_type> task_handles_;

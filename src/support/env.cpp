@@ -67,4 +67,13 @@ long env_long(const char* name, long fallback) {
   return parsed;
 }
 
+double env_double(const char* name, double fallback) {
+  const auto v = env_string(name);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  return parsed;
+}
+
 }  // namespace orwl::support

@@ -24,6 +24,10 @@ bool env_bool(const char* name, bool fallback = false);
 /// Parse an integral environment variable; `fallback` on unset/unparsable.
 long env_long(const char* name, long fallback);
 
+/// Parse a floating-point environment variable (strtod syntax);
+/// `fallback` on unset/unparsable values.
+double env_double(const char* name, double fallback);
+
 /// Case-insensitive ASCII string comparison (helper, exposed for tests).
 bool iequals(std::string_view a, std::string_view b) noexcept;
 

@@ -127,4 +127,32 @@ std::string CommMatrix::render_heatmap() const {
   return out.str();
 }
 
+void CommMatrix::decay_accumulate(const CommMatrix& delta, double decay) {
+  if (delta.order_ > order_) *this = extended(delta.order_);
+  for (std::size_t i = 0; i < order_; ++i) {
+    for (std::size_t j = 0; j < order_; ++j) {
+      const double d =
+          i < delta.order_ && j < delta.order_ ? delta.data_[delta.idx(i, j)]
+                                               : 0.0;
+      data_[idx(i, j)] = decay * data_[idx(i, j)] + d;
+    }
+  }
+}
+
+double normalized_distance(const CommMatrix& a, const CommMatrix& b) {
+  const std::size_t n = std::max(a.order(), b.order());
+  const double ta = a.total_volume();
+  const double tb = b.total_volume();
+  if (ta <= 0.0 || tb <= 0.0) return ta == tb ? 0.0 : 1.0;
+  double dist = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double va = i < a.order() && j < a.order() ? a.at(i, j) : 0.0;
+      const double vb = i < b.order() && j < b.order() ? b.at(i, j) : 0.0;
+      dist += std::abs(va / ta - vb / tb);
+    }
+  }
+  return 0.5 * dist;
+}
+
 }  // namespace orwl::tm

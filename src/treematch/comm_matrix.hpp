@@ -62,6 +62,12 @@ class CommMatrix {
   /// scaled by log(volume)/log(max).
   std::string render_heatmap() const;
 
+  /// Fold another matrix into this one with exponential decay:
+  /// entry := decay * entry + delta_entry (orders may differ; this matrix
+  /// is extended to cover both). The measured-matrix accumulator of the
+  /// online re-placement loop.
+  void decay_accumulate(const CommMatrix& delta, double decay);
+
  private:
   std::size_t idx(std::size_t i, std::size_t j) const {
     return i * order_ + j;
@@ -69,5 +75,15 @@ class CommMatrix {
   std::size_t order_ = 0;
   std::vector<double> data_;
 };
+
+/// Normalized divergence between two communication patterns: the total-
+/// variation distance of the unit-normalized off-diagonal volumes,
+/// 0 (same shape, any scale) .. 1 (disjoint support). A matrix with zero
+/// volume is at distance 0 of another zero-volume matrix and 1 of any
+/// matrix with traffic. Orders may differ (the smaller is zero-padded).
+/// This is the divergence metric of the measured-vs-declared re-placement
+/// trigger: scale-free, so a measured byte count and a declared per-
+/// iteration volume compare meaningfully.
+double normalized_distance(const CommMatrix& a, const CommMatrix& b);
 
 }  // namespace orwl::tm

@@ -93,6 +93,37 @@ TEST(Lk23, OrwlRejectsBadBlockGrid) {
   EXPECT_THROW(lk23_orwl(p, 1, 7, 1, quiet()), std::invalid_argument);
 }
 
+TEST(Lk23, ConvergedMatchesFixedSweepsWhenToleranceIsUnreachable) {
+  // tol = 0 can never be met (the residual stays positive while cells
+  // still move), so the converged driver must cap at max_iters and
+  // produce the exact fixed-count result.
+  auto seq = Lk23Problem::generate(24);
+  auto par = Lk23Problem::generate(24);
+  lk23_sequential(seq, 4);
+  const std::size_t ran = lk23_orwl_converged(par, 0.0, 4, 2, 2, quiet());
+  EXPECT_EQ(ran, 4u);
+  EXPECT_EQ(seq.za, par.za);
+}
+
+TEST(Lk23, ConvergedStopsEarlyOnLooseTolerance) {
+  // A huge tolerance is met after the very first sweep; the state then
+  // equals one sequential sweep bit-for-bit.
+  auto seq = Lk23Problem::generate(24);
+  auto par = Lk23Problem::generate(24);
+  lk23_sequential(seq, 1);
+  const std::size_t ran = lk23_orwl_converged(par, 1e30, 100, 2, 2, quiet());
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(seq.za, par.za);
+}
+
+TEST(Lk23, ConvergedValidatesArguments) {
+  auto p = Lk23Problem::generate(8);
+  EXPECT_THROW(lk23_orwl_converged(p, 0.0, 0, 2, 2, quiet()),
+               std::invalid_argument);
+  EXPECT_THROW(lk23_orwl_converged(p, 0.0, 1, 0, 2, quiet()),
+               std::invalid_argument);
+}
+
 TEST(Lk23, OrwlWithAffinityEnabledStillCorrect) {
   // End-to-end: the affinity module on, real binding on the host.
   auto seq = Lk23Problem::generate(24);

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "orwl/orwl.hpp"
@@ -67,7 +68,7 @@ ProgramBuilder chain_builder(std::size_t tasks, rt::ProgramOptions opts) {
 
 TEST(Builder, DeclaredGraphMatchesImperativeDryRun) {
   const topo::Topology machine = topo::make_numa(2, 2, 1);
-  constexpr std::size_t kTasks = 4;
+  static constexpr std::size_t kTasks = 4;
 
   // Imperative v1-style wiring, extracted through a dry-run execution.
   rt::ProgramOptions dry = fixture_opts(machine);
@@ -396,6 +397,181 @@ TEST(Guards, WriteGuardChecksElementShape) {
     EXPECT_THROW(WriteGuard<double> g(bad), std::length_error);
   });
   prog.run();
+}
+
+// --------------------------------------------------- FIFO channels ------
+
+TEST(Fifo, ScalarRoundTripThroughBuilder) {
+  static constexpr std::size_t kItems = 16;
+  ProgramBuilder b(2, quiet());
+  b.task(0).fifo_out<int>("nums", /*depth=*/2).body([](Task& task) {
+    FifoOut<int> out = task.fifo_out<int>("nums");
+    EXPECT_EQ(out.depth(), 2u);
+    for (std::size_t i = 0; i < kItems; ++i)
+      out.push(static_cast<int>(i * i));
+    EXPECT_EQ(out.pushed(), kItems);
+  });
+  std::atomic<long> sum{0};
+  b.task(1).fifo_in<int>("nums").body([&](Task& task) {
+    FifoIn<int> in = task.fifo_in<int>("nums");
+    for (std::size_t i = 0; i < kItems; ++i) sum.fetch_add(in.pop());
+    EXPECT_EQ(in.popped(), kItems);
+  });
+  b.build().run();
+
+  long expect = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expect += static_cast<long>(i * i);
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(Fifo, ArrayChannelBroadcastsToEveryConsumer) {
+  // Two consumers on one channel: each pops EVERY item (the readers at
+  // each ring slot's head share the grant — Sec. V-C broadcast).
+  static constexpr std::size_t kItems = 8;
+  static constexpr std::size_t kCount = 32;
+  ProgramBuilder b(3, quiet());
+  b.task(0)
+      .fifo_out<double[]>("blocks", kCount, /*depth=*/3)
+      .body([](Task& task) {
+        FifoOut<double[]> out = task.fifo_out<double[]>("blocks");
+        for (std::size_t i = 0; i < kItems; ++i) {
+          std::span<double> item = out.begin_push();
+          ASSERT_EQ(item.size(), kCount);
+          for (double& d : item) d = static_cast<double>(i);
+          out.end_push();
+        }
+      });
+  std::atomic<double> sums[2] = {0.0, 0.0};
+  for (TaskId c = 1; c <= 2; ++c) {
+    b.task(c).fifo_in<double[]>("blocks").body([&, c](Task& task) {
+      FifoIn<double[]> in = task.fifo_in<double[]>("blocks");
+      double total = 0.0;
+      for (std::size_t i = 0; i < kItems; ++i) {
+        std::span<const double> item = in.begin_pop();
+        for (double d : item) total += d;
+        in.end_pop();
+      }
+      sums[c - 1].store(total);
+    });
+  }
+  b.build().run();
+
+  const double expect = kCount * (kItems * (kItems - 1) / 2.0);
+  EXPECT_DOUBLE_EQ(sums[0].load(), expect);
+  EXPECT_DOUBLE_EQ(sums[1].load(), expect) << "broadcast: every consumer "
+                                              "sees every item";
+}
+
+TEST(Fifo, EndpointLookupChecksIdentityAndType) {
+  ProgramBuilder b(2, quiet());
+  b.task(0).fifo_out<int>("c").body([](Task& task) {
+    EXPECT_THROW(task.fifo_out<double>("c"), std::logic_error)
+        << "channel item type is part of the contract";
+    EXPECT_THROW(task.fifo_out<int>("nope"), std::logic_error);
+    EXPECT_THROW(task.fifo_in<int>("c"), std::logic_error)
+        << "the producer is not a consumer";
+    FifoOut<int> out = task.fifo_out<int>("c");
+    out.push(1);
+  });
+  b.task(1).fifo_in<int>("c").body([](Task& task) {
+    EXPECT_THROW(task.fifo_out<int>("c"), std::logic_error)
+        << "only the declaring producer owns the write end";
+    EXPECT_THROW(task.fifo_in<double>("c"), std::logic_error);
+    EXPECT_EQ(task.fifo_in<int>("c").pop(), 1);
+  });
+  b.build().run();
+}
+
+TEST(Fifo, BuildRejectsMalformedChannels) {
+  {
+    // Unknown channel name.
+    ProgramBuilder b(2, quiet());
+    b.task(0).fifo_out<int>("a").body([](Task&) {});
+    b.task(1).fifo_in<int>("b").body([](Task&) {});
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+  {
+    // Duplicate channel name across producers.
+    ProgramBuilder b(2, quiet());
+    b.task(0).fifo_out<int>("a").body([](Task&) {});
+    b.task(1).fifo_out<int>("a").body([](Task&) {});
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+  {
+    // A producer consuming its own channel would self-deadlock.
+    ProgramBuilder b(1, quiet());
+    b.task(0).fifo_out<int>("a").fifo_in<int>("a").body([](Task&) {});
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+  {
+    // Item type mismatch between the two ends.
+    ProgramBuilder b(2, quiet());
+    b.task(0).fifo_out<int>("a").body([](Task&) {});
+    b.task(1).fifo_in<float>("a").body([](Task&) {});
+    EXPECT_THROW(b.build(), std::logic_error);
+  }
+  {
+    // depth < 2 cannot overlap production with consumption.
+    ProgramBuilder b(2, quiet());
+    b.task(0).fifo_out<int>("a", /*depth=*/1).body([](Task&) {});
+    b.task(1).fifo_in<int>("a").body([](Task&) {});
+    EXPECT_THROW(b.build(), std::invalid_argument);
+  }
+}
+
+// ----------------------------------------------- converged iteration ----
+
+TEST(Converged, PredicateLoopTerminatesUniformly) {
+  // Each task contributes 1/(i+1); the global sum is tasks/(i+1), and
+  // every task must leave the loop on the same iteration — the sum is
+  // reduced across all of them before anyone evaluates the predicate.
+  static constexpr std::size_t kTasks = 3;
+  ProgramBuilder b(kTasks, quiet());
+  std::atomic<std::size_t> counts[kTasks] = {};
+  for (TaskId t = 0; t < kTasks; ++t) {
+    b.task(t).body([&, t](Task& task) {
+      const std::size_t ran = task.run_iterations(
+          [](double global) { return global < 0.5; },
+          [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); });
+      counts[t].store(ran);
+    });
+  }
+  b.build().run();
+
+  // 3/(i+1) < 0.5 first holds at i = 6, so 7 iterations everywhere.
+  for (TaskId t = 0; t < kTasks; ++t) EXPECT_EQ(counts[t].load(), 7u);
+}
+
+TEST(Converged, MixedWorkloadsStaySynchronized) {
+  // The reduction is a generation barrier: a fast task cannot lap a
+  // slow one, and each generation's published sum is identical for all.
+  static constexpr std::size_t kTasks = 4;
+  ProgramBuilder b(kTasks, quiet());
+  std::atomic<int> exact_sums{0};
+  std::atomic<std::size_t> rounds[kTasks] = {};
+  for (TaskId t = 0; t < kTasks; ++t) {
+    b.task(t).body([&, t](Task& task) {
+      const std::size_t ran = task.run_iterations(
+          [&](double global) {
+            // Every task contributes its id + 1, so each full round
+            // sums to exactly 1 + 2 + ... + kTasks.
+            if (global == kTasks * (kTasks + 1) / 2.0)
+              exact_sums.fetch_add(1);
+            return global < 0.0;
+          },
+          [t](std::size_t i) {
+            // Round 20 flips everyone to a negative contribution,
+            // driving the sum below zero and stopping all loops at once.
+            return i < 20 ? static_cast<double>(t + 1)
+                          : -static_cast<double>(kTasks * kTasks);
+          });
+      rounds[t].store(ran);
+    });
+  }
+  b.build().run();
+  EXPECT_EQ(exact_sums.load(), 20 * static_cast<int>(kTasks))
+      << "every task must observe the complete sum of every round";
+  for (TaskId t = 0; t < kTasks; ++t) EXPECT_EQ(rounds[t].load(), 21u);
 }
 
 }  // namespace

@@ -6,6 +6,17 @@ Usage:
                    --current  BENCH_micro_orwl_lock.ci.json \
                    [--threshold 2.0] [--reference BM_WriteCycleUncontended]
 
+  bench_compare.py --current BENCH_micro_replace.ci.json \
+                   --min-recovery 0.9
+
+The second form gates the re-placement engine instead of comparing two
+files: micro_replace reports a deterministic `recovery` counter (oracle
+placement cost / final placement cost, 1.0 = the engine recovered the
+oracle placement from runtime measurements alone). The gate fails when
+the auto policy's recovery falls below --min-recovery, and warns when
+the off policy also clears it — that means the mis-declared scenario
+stopped exercising the engine.
+
 The two files usually come from different machines (the committed
 baseline is a dev-box snapshot, the current file a CI runner), so raw
 times are not comparable. Instead every benchmark's items_per_second is
@@ -40,8 +51,11 @@ def load_benchmarks(path):
             continue
         ips = b.get("items_per_second")
         rt = b.get("real_time")
+        recovery = b.get("recovery")
         out[name] = {"ips": float(ips) if ips else None,
-                     "rt": float(rt) if rt else None}
+                     "rt": float(rt) if rt else None,
+                     "recovery": float(recovery)
+                     if recovery is not None else None}
     return out
 
 
@@ -60,9 +74,36 @@ def throughput(base_entry, cur_entry):
     return None
 
 
+def recovery_gate(cur, min_recovery, auto_name, off_name):
+    """Gate the re-placement engine on micro_replace's recovery counter."""
+    auto = cur.get(auto_name)
+    if auto is None or auto["recovery"] is None:
+        print(f"bench_compare: '{auto_name}' (or its recovery counter) "
+              "missing from the current file; failing the recovery gate.",
+              file=sys.stderr)
+        return 1
+    off = cur.get(off_name)
+    off_recovery = off["recovery"] if off else None
+    print(f"{auto_name}: recovery {auto['recovery']:.3f} "
+          f"(required >= {min_recovery})")
+    if off_recovery is not None:
+        print(f"{off_name}: recovery {off_recovery:.3f}")
+        if off_recovery >= min_recovery:
+            print("bench_compare: WARNING — the off policy also clears the "
+                  "bar; the mis-declared scenario no longer separates the "
+                  "policies.", file=sys.stderr)
+    if auto["recovery"] < min_recovery:
+        print(f"\nbench_compare: auto re-placement recovered only "
+              f"{auto['recovery']:.3f} of the oracle placement quality "
+              f"(required {min_recovery}).", file=sys.stderr)
+        return 1
+    print("\nbench_compare: recovery gate OK.")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True, help="committed snapshot")
+    ap.add_argument("--baseline", help="committed snapshot")
     ap.add_argument("--current", required=True, help="fresh bench JSON")
     ap.add_argument("--threshold", type=float, default=2.0,
                     help="fail when normalized throughput drops by more "
@@ -70,10 +111,31 @@ def main():
     ap.add_argument("--reference", default="BM_WriteCycleUncontended",
                     help="in-file benchmark used to normalize out the "
                          "machine's single-thread speed")
+    ap.add_argument("--min-recovery", type=float, default=None,
+                    help="recovery-gate mode: minimum `recovery` counter "
+                         "the auto policy must report (no --baseline "
+                         "needed)")
+    ap.add_argument("--recovery-benchmark",
+                    default="BM_MisdeclaredWorkload_auto",
+                    help="benchmark whose recovery counter is gated")
+    ap.add_argument("--off-benchmark",
+                    default="BM_MisdeclaredWorkload_off",
+                    help="no-replacement benchmark reported for contrast")
     args = ap.parse_args()
 
-    base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)
+
+    if args.min_recovery is not None:
+        if cur is None:
+            print("bench_compare: current results unreadable; failing.",
+                  file=sys.stderr)
+            return 1
+        return recovery_gate(cur, args.min_recovery,
+                             args.recovery_benchmark, args.off_benchmark)
+
+    if not args.baseline:
+        ap.error("--baseline is required unless --min-recovery is used")
+    base = load_benchmarks(args.baseline)
     if base is None:
         print("bench_compare: no baseline snapshot; nothing to compare.")
         return 0
