@@ -29,7 +29,44 @@
 #ifdef ORWL_USE_GBENCH
 #include <benchmark/benchmark.h>
 
+#include "runtime/arena.hpp"
+#include "runtime/program.hpp"
+#include "runtime/request_queue.hpp"
+
 namespace orwl::bench {
+
+/// Attach the process-default arena's memory counters to a benchmark's
+/// JSON row. Micro benches whose queues draw from rt::Arena::
+/// runtime_default() call this once per benchmark; bench_compare.py's
+/// --require-zero gate reads the keys (a non-zero arena_node_misses
+/// means a node-bound slab landed on the wrong node).
+inline void annotate_arena_counters(benchmark::State& state) {
+  const rt::Arena::Stats s = rt::Arena::runtime_default().stats();
+  state.counters["arena_bytes"] = static_cast<double>(s.bytes_reserved);
+  state.counters["arena_refills"] = static_cast<double>(s.refills);
+  state.counters["arena_node_misses"] = static_cast<double>(s.node_misses);
+}
+
+/// Attach accumulated parking counters (zero on the ORWL_FUTEX=0
+/// condvar path, so the JSON also records which path the run took).
+inline void annotate_parking_counters(benchmark::State& state,
+                                      std::uint64_t futex_waits,
+                                      std::uint64_t futex_wakes) {
+  state.counters["futex_waits"] = static_cast<double>(futex_waits);
+  state.counters["futex_wakes"] = static_cast<double>(futex_wakes);
+}
+
+/// Program-level variant: arena + parking counters from ProgramStats
+/// (per-shard arenas summed by the runtime). Used by the fixture-driven
+/// benches (micro_replace on smp20e7) that the node-miss gate watches.
+inline void annotate_runtime_counters(benchmark::State& state,
+                                      const rt::ProgramStats& stats) {
+  state.counters["arena_bytes"] = static_cast<double>(stats.arena_bytes);
+  state.counters["arena_refills"] = static_cast<double>(stats.arena_refills);
+  state.counters["arena_node_misses"] =
+      static_cast<double>(stats.arena_node_misses);
+  annotate_parking_counters(state, stats.futex_waits, stats.futex_wakes);
+}
 
 /// Drop-in replacement for BENCHMARK_MAIN() used by the micro_* benches:
 /// when ORWL_BENCH_JSON=<path> is set, machine-readable results are also

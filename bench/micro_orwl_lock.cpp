@@ -7,6 +7,7 @@
 // ORWL_BENCH_JSON=<path> to also write the results as JSON (see
 // bench_util.hpp); CI archives BENCH_micro_orwl_lock.json from this.
 #include <atomic>
+#include <cstdint>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -53,6 +54,9 @@ void BM_WriteCycleUncontended(benchmark::State& state) {
     q.acquire(t);
     t = q.reinsert_and_release(t, AccessMode::Write);
   }
+  orwl::bench::annotate_arena_counters(state);
+  orwl::bench::annotate_parking_counters(state, q.futex_waits(),
+                                         q.futex_wakes());
 }
 BENCHMARK(BM_WriteCycleUncontended);
 
@@ -67,6 +71,10 @@ void BM_WriteCycleWithControlPlane(benchmark::State& state) {
     t = q.reinsert_and_release(t, AccessMode::Write);
   }
   cp.stop();
+  orwl::bench::annotate_arena_counters(state);
+  orwl::bench::annotate_parking_counters(
+      state, q.futex_waits() + cp.futex_waits(),
+      q.futex_wakes() + cp.futex_wakes());
 }
 BENCHMARK(BM_WriteCycleWithControlPlane);
 
@@ -74,6 +82,8 @@ void BM_ContendedRing(benchmark::State& state) {
   // N writer threads iterate on one queue: the full exclusive lock
   // hand-off path.
   const int contenders = static_cast<int>(state.range(0));
+  std::uint64_t waits = 0;
+  std::uint64_t wakes = 0;
   for (auto _ : state) {
     RequestQueue q;
     std::vector<Ticket> tickets;
@@ -83,9 +93,13 @@ void BM_ContendedRing(benchmark::State& state) {
       modes.push_back(AccessMode::Write);
     }
     state.SetIterationTime(contended_round_seconds(q, tickets, modes));
+    waits += q.futex_waits();
+    wakes += q.futex_wakes();
   }
   state.SetItemsProcessed(state.iterations() * contenders *
                           kHandOffsPerThread);
+  orwl::bench::annotate_arena_counters(state);
+  orwl::bench::annotate_parking_counters(state, waits, wakes);
 }
 BENCHMARK(BM_ContendedRing)->Arg(2)->Arg(4)->Arg(8)
     ->UseManualTime()->Unit(benchmark::kMillisecond);
@@ -94,6 +108,8 @@ void BM_ContendedReaderGroup(benchmark::State& state) {
   // N readers + 1 writer iterate on one queue: shared (group) grants
   // alternate with exclusive ones, exercising the reader-group hand-off.
   const int readers = static_cast<int>(state.range(0));
+  std::uint64_t waits = 0;
+  std::uint64_t wakes = 0;
   for (auto _ : state) {
     RequestQueue q;
     std::vector<Ticket> tickets;
@@ -105,9 +121,13 @@ void BM_ContendedReaderGroup(benchmark::State& state) {
       modes.push_back(AccessMode::Read);
     }
     state.SetIterationTime(contended_round_seconds(q, tickets, modes));
+    waits += q.futex_waits();
+    wakes += q.futex_wakes();
   }
   state.SetItemsProcessed(state.iterations() * (readers + 1) *
                           kHandOffsPerThread);
+  orwl::bench::annotate_arena_counters(state);
+  orwl::bench::annotate_parking_counters(state, waits, wakes);
 }
 BENCHMARK(BM_ContendedReaderGroup)->Arg(2)->Arg(4)->Arg(8)
     ->UseManualTime()->Unit(benchmark::kMillisecond);
@@ -128,6 +148,7 @@ void BM_ReaderSharingGrant(benchmark::State& state) {
       q.release(r);
     }
   }
+  orwl::bench::annotate_arena_counters(state);
 }
 BENCHMARK(BM_ReaderSharingGrant)->Arg(4)->Arg(16)->Arg(64);
 

@@ -141,6 +141,10 @@ void bench_replace(benchmark::State& state, rt::ReplaceMode mode) {
   state.counters["replacements"] = static_cast<double>(stats.replacements);
   state.counters["replace_triggers"] =
       static_cast<double>(stats.replace_triggers);
+  // Arena + parking counters of the last run: CI gates
+  // arena_node_misses == 0 on this fixture (emulated nodes are not
+  // misses; a real mis-bound slab would be).
+  bench::annotate_runtime_counters(state, stats);
 }
 
 void BM_MisdeclaredWorkload_off(benchmark::State& state) {

@@ -1,6 +1,7 @@
 #include "runtime/comm_meter.hpp"
 
 #include <algorithm>
+#include <new>
 
 namespace orwl::rt {
 
@@ -14,15 +15,28 @@ std::size_t padded_stride(std::size_t cells) {
 
 }  // namespace
 
-CommMeter::CommMeter(std::size_t num_shards, std::size_t num_tasks)
+CommMeter::CommMeter(std::size_t num_shards, std::size_t num_tasks,
+                     const std::vector<Arena*>& arenas)
     : tasks_(num_tasks),
       shards_(std::max<std::size_t>(1, num_shards)),
       stride_(padded_stride(num_tasks * num_tasks)),
-      cells_(new std::atomic<std::uint64_t>[shards_ * stride_]),
       counters_(new ShardCounters[shards_]) {
-  for (std::size_t i = 0; i < shards_ * stride_; ++i) {
-    cells_[i].store(0, std::memory_order_relaxed);
+  banks_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    Arena* arena = s < arenas.size() && arenas[s] ? arenas[s]
+                                                  : &Arena::runtime_default();
+    void* mem = arena->allocate(stride_ * sizeof(std::atomic<std::uint64_t>),
+                                /*align=*/64);
+    auto* bank = static_cast<std::atomic<std::uint64_t>*>(mem);
+    for (std::size_t i = 0; i < stride_; ++i) {
+      new (&bank[i]) std::atomic<std::uint64_t>(0);
+    }
+    banks_.push_back(bank);
   }
+}
+
+CommMeter::~CommMeter() {
+  for (auto* bank : banks_) Arena::deallocate(bank);
 }
 
 void CommMeter::record(std::size_t shard, TaskId from, TaskId to,

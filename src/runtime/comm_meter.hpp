@@ -8,18 +8,22 @@
 // re-placement loop (ROADMAP direction 3).
 //
 // Layout: one bank of num_tasks^2 plain 8-byte atomic cells per control-
-// plane shard, banks padded to cache-line multiples so shards never share
-// lines. record() is two relaxed fetch_adds on the recording thread's own
-// shard bank; harvest() drains every cell with exchange(0) and folds the
-// drained delta into an exponentially decaying accumulator matrix, so
-// recording never blocks and harvesting never loses a byte.
+// plane shard, each bank cache-line aligned in its *own shard's* arena —
+// the recording thread is the shard's control thread (or a task near
+// it), so the hot cells are NUMA-local to the writers. record() is two
+// relaxed fetch_adds on the recording thread's own shard bank; harvest()
+// drains every cell with exchange(0) and folds the drained delta into an
+// exponentially decaying accumulator matrix, so recording never blocks
+// and harvesting never loses a byte.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "runtime/arena.hpp"
 #include "runtime/types.hpp"
 #include "treematch/comm_matrix.hpp"
 
@@ -30,7 +34,11 @@ class CommMeter {
   /// \param num_shards Control-plane shard count (>= 1): one cell bank
   ///                   and one hand-off counter pair per shard.
   /// \param num_tasks  Tasks of the program; cells cover from x to pairs.
-  CommMeter(std::size_t num_shards, std::size_t num_tasks);
+  /// \param arenas     Per-shard arenas backing each shard's cell bank
+  ///                   (missing/null entries use the process arena).
+  CommMeter(std::size_t num_shards, std::size_t num_tasks,
+            const std::vector<Arena*>& arenas = {});
+  ~CommMeter();
   CommMeter(const CommMeter&) = delete;
   CommMeter& operator=(const CommMeter&) = delete;
 
@@ -65,13 +73,13 @@ class CommMeter {
 
   std::atomic<std::uint64_t>& cell(std::size_t shard, TaskId from,
                                    TaskId to) noexcept {
-    return cells_[shard * stride_ + from * tasks_ + to];
+    return banks_[shard][from * tasks_ + to];
   }
 
   std::size_t tasks_;
   std::size_t shards_;
   std::size_t stride_;  ///< cells per bank, rounded up to full cache lines
-  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  std::vector<std::atomic<std::uint64_t>*> banks_;  ///< arena blocks
   std::unique_ptr<ShardCounters[]> counters_;
 };
 

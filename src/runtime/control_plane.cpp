@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/futex.hpp"
 #include "runtime/request_queue.hpp"
 #include "topo/binding.hpp"
 #include "topo/cpuset.hpp"
@@ -10,33 +11,46 @@ namespace orwl::rt {
 
 namespace {
 
-std::size_t clamp_shards(const ControlPlaneOptions& opts) {
-  if (opts.num_threads == 0) return 1;
-  return std::clamp<std::size_t>(opts.num_shards, 1, opts.num_threads);
-}
-
 // A queue that posted several events into one drained batch needs only a
 // single grant pass: every release behind those posts already happened,
 // so one grant_from_control covers them all without re-taking the
 // queue's mutex per duplicate event.
-void dedupe_queues(std::vector<RequestQueue*>& queues) {
+template <typename QueueVec>
+void dedupe_queues(QueueVec& queues) {
   std::sort(queues.begin(), queues.end());
   queues.erase(std::unique(queues.begin(), queues.end()), queues.end());
 }
 
+bool resolve_futex(int use_futex) {
+  if (use_futex < 0) return futex_enabled_from_env();
+  return use_futex != 0 && futex_supported();
+}
+
 }  // namespace
 
+std::size_t ControlPlane::effective_shards(const ControlPlaneOptions& opts) {
+  if (opts.num_threads == 0) return 1;
+  return std::clamp<std::size_t>(opts.num_shards, 1, opts.num_threads);
+}
+
 ControlPlane::ControlPlane(std::size_t nthreads)
-    : ControlPlane(ControlPlaneOptions{nthreads, 1,
-                                       ControlPlaneOptions{}.shard_capacity}) {}
+    : ControlPlane([nthreads] {
+        ControlPlaneOptions opts;
+        opts.num_threads = nthreads;
+        return opts;
+      }()) {}
 
 ControlPlane::ControlPlane(const ControlPlaneOptions& opts)
     : num_threads_(opts.num_threads),
-      num_shards_(clamp_shards(opts)),
-      shard_capacity_(opts.shard_capacity) {
+      num_shards_(effective_shards(opts)),
+      shard_capacity_(opts.shard_capacity),
+      futex_(resolve_futex(opts.use_futex)) {
   shards_.reserve(num_shards_);
   for (std::size_t s = 0; s < num_shards_; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    Arena* arena = s < opts.shard_arenas.size() && opts.shard_arenas[s]
+                       ? opts.shard_arenas[s]
+                       : &Arena::runtime_default();
+    shards_.push_back(std::make_unique<Shard>(arena));
   }
 }
 
@@ -64,7 +78,7 @@ void ControlPlane::stop() {
       std::unique_lock lock(shard->mu);
       shard->stopping = true;
     }
-    shard->cv.notify_all();
+    wake_shard(*shard, /*all=*/true);
   }
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
@@ -75,7 +89,7 @@ void ControlPlane::stop() {
   // grant them inline regardless (deduplicated, counted per event) so no
   // waiter stays ungranted.
   for (auto& shard : shards_) {
-    std::deque<RequestQueue*> leftovers;
+    EventDeque leftovers{ArenaAllocator<RequestQueue*>(shard->arena)};
     {
       std::unique_lock lock(shard->mu);
       leftovers.swap(shard->events);
@@ -88,6 +102,21 @@ void ControlPlane::stop() {
   }
 }
 
+void ControlPlane::wake_shard(Shard& shard, bool all) {
+  if (futex_) {
+    // The event push (or the stopping flag) was published under shard.mu
+    // before this bump; a worker that re-checked its predicate before
+    // the bump sees the seq change at futex_wait and returns.
+    shard.seq.fetch_add(1, std::memory_order_release);
+    futex_wake(shard.seq, all);
+    shard.futex_wakes.fetch_add(1, std::memory_order_relaxed);
+  } else if (all) {
+    shard.cv.notify_all();
+  } else {
+    shard.cv.notify_one();
+  }
+}
+
 void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
   if (running()) {
     Shard& shard = *shards_[shard_index % num_shards_];
@@ -96,7 +125,7 @@ void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
         (shard_capacity_ == 0 || shard.events.size() < shard_capacity_)) {
       shard.events.push_back(q);
       lock.unlock();
-      shard.cv.notify_one();
+      wake_shard(shard, /*all=*/false);
       return;
     }
   }
@@ -107,13 +136,29 @@ void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
 
 void ControlPlane::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
-  std::deque<RequestQueue*> batch;
+  EventDeque batch{ArenaAllocator<RequestQueue*>(shard.arena)};
   std::vector<RequestQueue*> unique_queues;
   for (;;) {
     {
       std::unique_lock lock(shard.mu);
-      shard.cv.wait(lock,
-                    [&] { return shard.stopping || !shard.events.empty(); });
+      if (futex_) {
+        // Futex sleep without holding the mutex: snapshot the wakeup
+        // word under the lock, drop it, and wait for the word to move.
+        // Any post after the snapshot bumps seq, so the wait returns
+        // immediately — no lost wakeup, and posters never queue behind
+        // a sleeping worker's mutex.
+        while (!shard.stopping && shard.events.empty()) {
+          const std::uint32_t seq =
+              shard.seq.load(std::memory_order_acquire);
+          lock.unlock();
+          shard.futex_waits.fetch_add(1, std::memory_order_relaxed);
+          futex_wait(shard.seq, seq, /*timeout_ms=*/0);
+          lock.lock();
+        }
+      } else {
+        shard.cv.wait(lock,
+                      [&] { return shard.stopping || !shard.events.empty(); });
+      }
       if (shard.events.empty()) return;  // stopping and fully drained
       batch.swap(shard.events);
     }
@@ -155,6 +200,22 @@ std::uint64_t ControlPlane::drain_batches() const noexcept {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->batches.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ControlPlane::futex_waits() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->futex_waits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ControlPlane::futex_wakes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->futex_wakes.load(std::memory_order_relaxed);
   }
   return total;
 }

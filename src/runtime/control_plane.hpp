@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/arena.hpp"
+
 namespace orwl::rt {
 
 class RequestQueue;
@@ -56,6 +58,15 @@ struct ControlPlaneOptions {
   /// Events a shard may hold before post() falls back to an inline grant
   /// (back-pressure instead of unbounded queue growth); 0 = unbounded.
   std::size_t shard_capacity = 4096;
+
+  /// Futex worker parking: -1 follows ORWL_FUTEX (on by default on
+  /// Linux), 0/1 force condvar/futex.
+  int use_futex = -1;
+
+  /// Arena backing shard s's event deque (and its worker's drain
+  /// buffers); missing or null entries fall back to the process arena.
+  /// The Program passes its per-shard node-bound arenas here.
+  std::vector<Arena*> shard_arenas;
 };
 
 class ControlPlane {
@@ -65,6 +76,11 @@ class ControlPlane {
   explicit ControlPlane(std::size_t nthreads);
   explicit ControlPlane(const ControlPlaneOptions& opts);
   ~ControlPlane();
+
+  /// The shard count the given options produce (the [1, num_threads]
+  /// clamp), so callers can size per-shard resources — arenas, shard
+  /// maps — before constructing the plane.
+  static std::size_t effective_shards(const ControlPlaneOptions& opts);
   ControlPlane(const ControlPlane&) = delete;
   ControlPlane& operator=(const ControlPlane&) = delete;
 
@@ -113,21 +129,38 @@ class ControlPlane {
     return inline_grants_.load(std::memory_order_relaxed);
   }
 
+  /// Worker futex sleeps / poster futex wakes (0 on the condvar path).
+  std::uint64_t futex_waits() const noexcept;
+  std::uint64_t futex_wakes() const noexcept;
+
+  bool futex_parking() const noexcept { return futex_; }
+
  private:
+  /// Event deque drawing from the shard's node-bound arena.
+  using EventDeque = std::deque<RequestQueue*, ArenaAllocator<RequestQueue*>>;
+
   struct Shard {
+    explicit Shard(Arena* a)
+        : events(ArenaAllocator<RequestQueue*>(a)), arena(a) {}
     std::mutex mu;
-    std::condition_variable cv;
-    std::deque<RequestQueue*> events;
+    std::condition_variable cv;             ///< ORWL_FUTEX=0 path
+    std::atomic<std::uint32_t> seq{0};      ///< futex wakeup word
+    EventDeque events;
     bool stopping = false;
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> futex_waits{0};
+    std::atomic<std::uint64_t> futex_wakes{0};
+    Arena* arena;
   };
 
   void worker_loop(std::size_t shard_index);
+  void wake_shard(Shard& shard, bool all);
 
   const std::size_t num_threads_;
   const std::size_t num_shards_;
   const std::size_t shard_capacity_;
+  const bool futex_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

@@ -35,10 +35,15 @@ void FifoProducer::link(TaskContext& ctx, TaskId owner,
   if (!handles_.empty()) {
     throw std::logic_error("FifoProducer: already linked");
   }
+  // The channel's metadata follows its first backing location's queue
+  // arena (node-local to the grant engine serving the ring).
+  Arena* arena = ctx.location(owner, first_slot).queue().arena();
+  handles_ = decltype(handles_)(ArenaAllocator<Handle2*>(arena));
+  owned_ = decltype(owned_)(ArenaAllocator<ArenaPtr<Handle2>>(arena));
   for (std::size_t s = 0; s < depth; ++s) {
     Location& loc = ctx.location(owner, first_slot + s);
     if (ctx.id() == owner) loc.scale(bytes);
-    auto h = std::make_unique<Handle2>();
+    ArenaPtr<Handle2> h(arena_new<Handle2>(*arena));
     h->write_insert(ctx, loc, /*priority=*/0);
     handles_.push_back(h.get());
     owned_.push_back(std::move(h));
@@ -47,7 +52,9 @@ void FifoProducer::link(TaskContext& ctx, TaskId owner,
 
 void FifoProducer::adopt(std::vector<Handle2*> handles) {
   check_adoptable(handles, !handles_.empty(), "FifoProducer");
-  handles_ = std::move(handles);
+  Arena* arena = handles[0]->location()->queue().arena();
+  handles_ = decltype(handles_)(ArenaAllocator<Handle2*>(arena));
+  handles_.assign(handles.begin(), handles.end());
 }
 
 std::span<std::byte> FifoProducer::begin_push() {
@@ -74,9 +81,12 @@ void FifoConsumer::link(TaskContext& ctx, TaskId owner,
   if (!handles_.empty()) {
     throw std::logic_error("FifoConsumer: already linked");
   }
+  Arena* arena = ctx.location(owner, first_slot).queue().arena();
+  handles_ = decltype(handles_)(ArenaAllocator<Handle2*>(arena));
+  owned_ = decltype(owned_)(ArenaAllocator<ArenaPtr<Handle2>>(arena));
   for (std::size_t s = 0; s < depth; ++s) {
     Location& loc = ctx.location(owner, first_slot + s);
-    auto h = std::make_unique<Handle2>();
+    ArenaPtr<Handle2> h(arena_new<Handle2>(*arena));
     h->read_insert(ctx, loc, /*priority=*/1);
     handles_.push_back(h.get());
     owned_.push_back(std::move(h));
@@ -85,7 +95,9 @@ void FifoConsumer::link(TaskContext& ctx, TaskId owner,
 
 void FifoConsumer::adopt(std::vector<Handle2*> handles) {
   check_adoptable(handles, !handles_.empty(), "FifoConsumer");
-  handles_ = std::move(handles);
+  Arena* arena = handles[0]->location()->queue().arena();
+  handles_ = decltype(handles_)(ArenaAllocator<Handle2*>(arena));
+  handles_.assign(handles.begin(), handles.end());
 }
 
 std::span<const std::byte> FifoConsumer::begin_pop() {

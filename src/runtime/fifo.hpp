@@ -10,11 +10,15 @@
 // every slot (priority 0), the consumer a read Handle2 (priority 1); the
 // per-slot FIFO alternation then allows the producer to run up to
 // `depth - 1` items ahead of the consumer without blocking.
+// Memory: the ring bookkeeping (handle pointers and link()-created
+// handles) draws from the channel owner's queue arena, so a channel's
+// metadata lives on the same NUMA node as its grant engine.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "runtime/arena.hpp"
 #include "runtime/handle.hpp"
 
 namespace orwl::rt {
@@ -51,8 +55,9 @@ class FifoProducer {
   std::uint64_t pushed() const noexcept { return pushed_; }
 
  private:
-  std::vector<Handle2*> handles_;                 // ring order
-  std::vector<std::unique_ptr<Handle2>> owned_;   // link() storage
+  std::vector<Handle2*, ArenaAllocator<Handle2*>> handles_;  // ring order
+  std::vector<ArenaPtr<Handle2>, ArenaAllocator<ArenaPtr<Handle2>>>
+      owned_;  // link() storage
   std::size_t next_ = 0;
   bool open_ = false;
   std::uint64_t pushed_ = 0;
@@ -80,8 +85,9 @@ class FifoConsumer {
   std::uint64_t popped() const noexcept { return popped_; }
 
  private:
-  std::vector<Handle2*> handles_;                 // ring order
-  std::vector<std::unique_ptr<Handle2>> owned_;   // link() storage
+  std::vector<Handle2*, ArenaAllocator<Handle2*>> handles_;  // ring order
+  std::vector<ArenaPtr<Handle2>, ArenaAllocator<ArenaPtr<Handle2>>>
+      owned_;  // link() storage
   std::size_t next_ = 0;
   bool open_ = false;
   std::uint64_t popped_ = 0;

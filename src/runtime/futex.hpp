@@ -1,0 +1,121 @@
+// Futex-backed parking for the grant engine and the control-plane
+// shards.
+//
+// The PR-3 grant engine made the *granted* fast path lock-free, but a
+// blocked acquirer still parked on a per-slot std::mutex +
+// std::condition_variable pair, and every shard worker slept on a
+// condvar — so the contended hand-off cycle carried pthread mutex
+// traffic even though the protocol state lives entirely in one atomic
+// word. These helpers park directly on a 32-bit sequence word via
+// SYS_futex (FUTEX_*_PRIVATE) on Linux.
+//
+// Protocol (same for slots and shards): the waiter reads the sequence
+// word, re-checks its predicate, then futex-waits for the sequence to
+// change; the waker updates the predicate state first, bumps the
+// sequence (release), then wakes. A wake between the waiter's re-check
+// and its futex_wait makes the wait return immediately (EAGAIN) — no
+// lost wakeup, no mutex.
+//
+// ORWL_FUTEX=1|0 (default 1 on Linux) gates the path; the condvar path
+// is retained for non-Linux hosts and as a diffable fallback. Timed
+// waits are supported (FUTEX_WAIT takes a relative timeout) so the
+// acquire-timeout guard works on both paths.
+//
+// TSan note: the happens-before edges all come from the atomic
+// predicate/sequence words, which TSan models; the futex syscall only
+// blocks, it transfers no data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/env.hpp"
+
+#if defined(__linux__)
+#include <climits>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#else
+#include <chrono>
+#include <thread>
+#endif
+
+namespace orwl::rt {
+
+/// ORWL_FUTEX=1|0 — park blocked acquirers and shard workers on futexes
+/// (Linux, default) instead of mutex+condvar pairs.
+inline constexpr const char* kFutexEnvVar = "ORWL_FUTEX";
+
+constexpr bool futex_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Effective gate: the env knob is read per call (ScopedEnv-testable,
+/// same idiom as membind.cpp) and forced off where SYS_futex is absent.
+inline bool futex_enabled_from_env() {
+  return futex_supported() && support::env_bool(kFutexEnvVar, true);
+}
+
+/// Block until `word != expected` is *signalled* (futex_wake after a
+/// sequence bump), a spurious return, or the timeout. `timeout_ms <= 0`
+/// means wait forever. Returns false only on timeout — callers must
+/// re-check their predicate on true (spurious and EAGAIN returns are
+/// folded into "woken").
+inline bool futex_wait(std::atomic<std::uint32_t>& word,
+                       std::uint32_t expected,
+                       std::int64_t timeout_ms) noexcept {
+#if defined(__linux__)
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_ms > 0) {
+    ts.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    ts.tv_nsec = static_cast<long>((timeout_ms % 1000) * 1000000);
+    tsp = &ts;
+  }
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+              FUTEX_WAIT_PRIVATE, expected, tsp, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+#else
+  // Portability fallback (the gate is off here, so this only runs if a
+  // caller forces futex mode on a non-Linux host): untimed waits map to
+  // C++20 atomic waiting; timed waits poll coarsely.
+  if (timeout_ms <= 0) {
+    word.wait(expected, std::memory_order_acquire);
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (word.load(std::memory_order_acquire) == expected) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+#endif
+}
+
+/// Wake one (or all) futex_wait-ers parked on `word`. Call after
+/// bumping the sequence word with release ordering.
+inline void futex_wake(std::atomic<std::uint32_t>& word,
+                       bool all) noexcept {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, all ? INT_MAX : 1, nullptr, nullptr, 0);
+#else
+  if (all) {
+    word.notify_all();
+  } else {
+    word.notify_one();
+  }
+#endif
+}
+
+}  // namespace orwl::rt

@@ -52,8 +52,11 @@ class Location : private GrantHook {
   /// \param id    Global location id (owner * locations_per_task + slot).
   /// \param owner Task owning (and scaling) this location.
   /// \param slot  Index of this location among its owner's locations.
-  Location(LocationId id, TaskId owner, std::size_t slot)
-      : id_(id), owner_(owner), slot_(slot) {}
+  /// \param arena Arena backing the request queue's windows and slots
+  ///              (the owner's control-shard arena; null = process arena).
+  Location(LocationId id, TaskId owner, std::size_t slot,
+           rt::Arena* arena = nullptr)
+      : id_(id), owner_(owner), slot_(slot), queue_(arena) {}
   Location(const Location&) = delete;
   Location& operator=(const Location&) = delete;
 

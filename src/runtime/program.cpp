@@ -117,8 +117,30 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   ControlPlaneOptions cp_opts;
   cp_opts.num_threads = nc;
   cp_opts.num_shards = std::max<std::size_t>(1, nshards);
+  // The shard count is needed *before* the plane exists: the per-shard
+  // arenas feed the plane's own event deques.
+  const std::size_t eff_shards = ControlPlane::effective_shards(cp_opts);
+  shard_map_ = topo::make_shard_map(*topology_, eff_shards);
+
+  // One node-bound arena per shard. A shard's node is the node of its
+  // PUs (the shard map partitions PUs by NUMA node); -1 (any node) when
+  // the topology has no NUMA level.
+  shard_nodes_.assign(eff_shards, Arena::kAnyNode);
+  for (std::size_t pu = 0; pu < shard_map_.shard_of_pu_os.size(); ++pu) {
+    const int s = shard_map_.shard_of_pu_os[pu];
+    if (s >= 0 && static_cast<std::size_t>(s) < eff_shards &&
+        shard_nodes_[s] == Arena::kAnyNode) {
+      shard_nodes_[s] =
+          topo::numa_node_of_pu(*topology_, static_cast<int>(pu));
+    }
+  }
+  arenas_.reserve(eff_shards);
+  for (std::size_t s = 0; s < eff_shards; ++s) {
+    arenas_.push_back(std::make_unique<Arena>(shard_nodes_[s]));
+    cp_opts.shard_arenas.push_back(arenas_.back().get());
+  }
+
   control_ = std::make_unique<ControlPlane>(cp_opts);
-  shard_map_ = topo::make_shard_map(*topology_, control_->num_shards());
   stats_.control_shards = control_->num_shards();
 
   data_policy_ = resolve_data_transfer(opts_.data_transfer);
@@ -129,8 +151,8 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   replace_decay_ = resolve_replace_decay(opts_.replace_decay);
   replace_interval_ = resolve_replace_interval(opts_.replace_interval);
   if (replace_policy_ != ReplaceMode::Off) {
-    meter_ =
-        std::make_unique<CommMeter>(control_->num_shards(), num_tasks_);
+    meter_ = std::make_unique<CommMeter>(control_->num_shards(), num_tasks_,
+                                         cp_opts.shard_arenas);
   }
   task_node_ = std::make_unique<std::atomic<int>[]>(num_tasks_);
   for (TaskId t = 0; t < num_tasks_; ++t) {
@@ -141,7 +163,10 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   for (TaskId t = 0; t < num_tasks_; ++t) {
     for (std::size_t s = 0; s < opts_.locations_per_task; ++s) {
       const LocationId id = t * opts_.locations_per_task + s;
-      locations_.push_back(std::make_unique<Location>(id, t, s));
+      // The queue draws windows and slots from its (default) shard's
+      // arena; re-pointed with the routing once a placement exists.
+      locations_.push_back(std::make_unique<Location>(
+          id, t, s, arenas_[t % control_->num_shards()].get()));
       locations_.back()->queue().set_control_plane(control_.get());
       locations_.back()->queue().set_acquire_timeout(
           opts_.acquire_timeout_ms);
@@ -389,14 +414,21 @@ std::size_t Program::shard_for_owner_locked(TaskId owner) const {
 void Program::route_queues_locked() {
   if (control_->num_shards() <= 1) return;
   for (auto& loc : locations_) {
-    loc->queue().set_control_shard(shard_for_owner_locked(loc->owner()));
+    const std::size_t shard = shard_for_owner_locked(loc->owner());
+    loc->queue().set_control_shard(shard);
+    // Future windows/slots of this queue come from the new shard's
+    // arena; already-allocated blocks stay with (and free back to) the
+    // arena that made them.
+    loc->queue().set_arena(arenas_[shard].get());
   }
 }
 
 void Program::route_queue(Location& loc) {
   std::lock_guard lock(place_mu_);
   if (control_->num_shards() > 1) {
-    loc.queue().set_control_shard(shard_for_owner_locked(loc.owner()));
+    const std::size_t shard = shard_for_owner_locked(loc.owner());
+    loc.queue().set_control_shard(shard);
+    loc.queue().set_arena(arenas_[shard].get());
   }
   // Memory follows the same rule as the events: the buffer lives on the
   // owner's placed node (no-op while unplaced or with transfers off).
@@ -463,6 +495,15 @@ void Program::compute_placement_locked(const tm::CommMatrix& m) {
   placement_recomputes_.fetch_add(1, std::memory_order_relaxed);
   have_placement_ = true;
   placement_matrix_ = m;
+  // Runtime-internal memory follows the placement too: every shard
+  // arena re-asserts its node binding (Arena::rebind migrates existing
+  // slabs on a node change and no-ops otherwise). The shard->node map
+  // is derived from the topology, so today this only moves pages when a
+  // re-placement crosses shard maps; the hook keeps arena placement and
+  // queue routing in one transaction either way.
+  for (std::size_t s = 0; s < arenas_.size(); ++s) {
+    arenas_[s]->rebind(shard_nodes_[s]);
+  }
   route_queues_locked();
   // The memory half of the placement: every location buffer moves to its
   // owner's NUMA node (re-run here on every dynamic re-placement too).
@@ -663,6 +704,24 @@ void Program::run() {
     stats_.measured_handoffs = meter_->handoffs();
     stats_.measured_remote_handoffs = meter_->remote_handoffs();
   }
+  std::uint64_t arena_bytes = 0, arena_refills = 0, arena_misses = 0;
+  for (const auto& a : arenas_) {
+    const Arena::Stats as = a->stats();
+    arena_bytes += as.bytes_reserved;
+    arena_refills += as.refills;
+    arena_misses += as.node_misses;
+  }
+  stats_.arena_bytes = arena_bytes;
+  stats_.arena_refills = arena_refills;
+  stats_.arena_node_misses = arena_misses;
+  std::uint64_t futex_waits = control_->futex_waits();
+  std::uint64_t futex_wakes = control_->futex_wakes();
+  for (const auto& loc : locations_) {
+    futex_waits += loc->queue().futex_waits();
+    futex_wakes += loc->queue().futex_wakes();
+  }
+  stats_.futex_waits = futex_waits;
+  stats_.futex_wakes = futex_wakes;
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -191,6 +191,21 @@ struct ProgramStats {
   /// time: Location::bind_home would silently no-op on them, so they are
   /// skipped and counted here instead of inflating locations_bound.
   std::size_t locations_skipped_unsized = 0;
+
+  // ---- runtime arenas + futex parking (ORWL_ARENA / ORWL_FUTEX) ----------
+  /// Backing bytes the per-shard arenas reserved from the OS (0 when
+  /// ORWL_ARENA=off — the legacy heap path).
+  std::uint64_t arena_bytes = 0;
+  /// Slab/large-mapping refills across all shard arenas.
+  std::uint64_t arena_refills = 0;
+  /// Refills whose node-bound pages the host could have placed on the
+  /// requested node but did not (fixture-only nodes are not misses).
+  std::uint64_t arena_node_misses = 0;
+  /// Futex sleeps entered by blocked acquirers and control workers
+  /// (0 when ORWL_FUTEX=0 — the condvar path).
+  std::uint64_t futex_waits = 0;
+  /// Futex wake calls issued by granters and event posters.
+  std::uint64_t futex_wakes = 0;
 };
 
 class Program {
@@ -222,6 +237,11 @@ class Program {
   }
   /// The PU -> shard partition the control plane routes by.
   const topo::ShardMap& shard_map() const noexcept { return shard_map_; }
+
+  /// The node-bound arena of control shard `s` (runtime-internal memory:
+  /// queue windows, event deques, meter banks). Throws std::out_of_range
+  /// on a bad shard index.
+  Arena& shard_arena(std::size_t s) { return *arenas_.at(s); }
   Location& location(TaskId task, std::size_t slot = 0);
   const topo::Topology& topology() const noexcept { return *topology_; }
   bool affinity_enabled() const noexcept { return affinity_enabled_; }
@@ -422,6 +442,13 @@ class Program {
   /// NUMA node of each task's placed PU (-1 unplaced); written under
   /// place_mu_, read lock-free by the write-release fast path.
   std::unique_ptr<std::atomic<int>[]> task_node_;
+
+  /// One node-bound arena per control shard, backing that shard's
+  /// queues, event deque and meter bank. Declared before locations_ and
+  /// control_: the arenas must be destroyed last, after everything that
+  /// frees into them.
+  std::vector<int> shard_nodes_;  ///< NUMA node of each shard's PUs
+  std::vector<std::unique_ptr<Arena>> arenas_;
 
   std::vector<std::unique_ptr<Location>> locations_;
   std::unique_ptr<ControlPlane> control_;

@@ -1,23 +1,66 @@
 #include "runtime/request_queue.hpp"
 
 #include <chrono>
+#include <new>
 #include <stdexcept>
 
 #include "runtime/control_plane.hpp"
+#include "runtime/futex.hpp"
 
 namespace orwl::rt {
 
-RequestQueue::RequestQueue() {
-  windows_.push_back(std::make_unique<Window>(kInitialWindowCapacity));
-  cur_ = windows_.back().get();
+RequestQueue::RequestQueue(Arena* arena)
+    : arena_(arena ? arena : &Arena::runtime_default()),
+      futex_(futex_enabled_from_env()) {
+  std::lock_guard lock(mu_);
+  cur_ = make_window_locked(kInitialWindowCapacity);
   window_.store(cur_, std::memory_order_release);
+}
+
+RequestQueue::~RequestQueue() {
+  // Blocks free back to whichever arena produced them (the header
+  // routes), so queues that changed arenas mid-life tear down cleanly.
+  for (Slot* chunk : slot_chunks_) {
+    for (std::size_t i = 0; i < kSlotChunk; ++i) chunk[i].~Slot();
+    Arena::deallocate(chunk);
+  }
+  for (Window* w : windows_) {
+    w->~Window();
+    Arena::deallocate(w);
+  }
+}
+
+void RequestQueue::set_arena(Arena* arena) noexcept {
+  if (arena != nullptr) arena_.store(arena, std::memory_order_release);
+}
+
+void RequestQueue::set_futex(bool on) noexcept {
+  futex_ = on && futex_supported();
+}
+
+RequestQueue::Window* RequestQueue::make_window_locked(
+    std::size_t capacity) {
+  // One block: the Window header followed by its slot-pointer array.
+  void* mem = arena()->allocate(
+      sizeof(Window) + capacity * sizeof(std::atomic<Slot*>),
+      alignof(Window));
+  auto* slots = reinterpret_cast<std::atomic<Slot*>*>(
+      static_cast<std::byte*>(mem) + sizeof(Window));
+  for (std::size_t i = 0; i < capacity; ++i) {
+    new (&slots[i]) std::atomic<Slot*>(nullptr);
+  }
+  Window* w = new (mem) Window{capacity - 1, slots};
+  windows_.push_back(w);
+  return w;
 }
 
 Ticket RequestQueue::enqueue_locked(AccessMode mode) {
   if (tail_ - head_ > cur_->mask) grow_locked();
   if (free_slots_.empty()) {
-    slab_.push_back(std::make_unique<Slot[]>(kSlotChunk));
-    Slot* chunk = slab_.back().get();
+    void* mem = arena()->allocate(kSlotChunk * sizeof(Slot), alignof(Slot));
+    Slot* chunk = static_cast<Slot*>(mem);
+    for (std::size_t i = 0; i < kSlotChunk; ++i) new (&chunk[i]) Slot();
+    slot_chunks_.push_back(chunk);
     for (std::size_t i = 0; i < kSlotChunk; ++i) {
       free_slots_.push_back(&chunk[i]);
     }
@@ -34,14 +77,13 @@ Ticket RequestQueue::enqueue_locked(AccessMode mode) {
 }
 
 void RequestQueue::grow_locked() {
-  auto grown = std::make_unique<Window>(2 * (cur_->mask + 1));
+  Window* grown = make_window_locked(2 * (cur_->mask + 1));
   for (Ticket u = head_; u < tail_; ++u) {
     grown->slots[u & grown->mask].store(
         cur_->slots[u & cur_->mask].load(std::memory_order_relaxed),
         std::memory_order_relaxed);
   }
-  cur_ = grown.get();
-  windows_.push_back(std::move(grown));
+  cur_ = grown;
   // The old window stays allocated (retired): stale lock-free lookups may
   // still dereference it, and its entries remain correct for every ticket
   // that existed when it was current.
@@ -158,6 +200,61 @@ void RequestQueue::acquire_slow(Ticket t) {
       return;
     }
   }
+  if (futex_) {
+    acquire_parked_futex(t, s);
+  } else {
+    acquire_parked_condvar(t, s);
+  }
+}
+
+void RequestQueue::acquire_parked_futex(Ticket t, Slot* s) {
+  // Announce the parking with a bare CAS — no lock. The granter's
+  // exchange either happens first (we observe kGranted below) or sees
+  // kParked and then bumps seq before waking; our wait loop reads seq
+  // *before* re-checking the word, so a grant between the re-check and
+  // the futex_wait makes the wait return immediately (seq changed).
+  std::uint64_t expected = pack(t, kWaiting);
+  if (!s->word.compare_exchange_strong(expected, pack(t, kParked),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    if (expected == pack(t, kGranted)) return;
+    if (expected != pack(t, kParked)) {
+      throw std::runtime_error("RequestQueue::acquire: unknown ticket");
+    }
+    // Already parked: a previous acquire of this ticket timed out and left
+    // the announcement in place. Fall through and wait for the grant.
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  for (;;) {
+    const std::uint32_t seq = s->seq.load(std::memory_order_acquire);
+    if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
+      return;
+    }
+    std::int64_t remaining_ms = 0;  // 0 = wait forever
+    if (timeout_ms_ != 0) {
+      remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - std::chrono::steady_clock::now())
+                         .count();
+      if (remaining_ms <= 0) remaining_ms = 1;  // one last short wait
+    }
+    futex_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (!futex_wait(s->seq, seq, remaining_ms)) {
+      if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
+        return;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw std::runtime_error(
+            "RequestQueue::acquire: timed out waiting for grant (likely a "
+            "deadlocked access protocol)");
+      }
+    }
+    // Spurious return, seq changed, or a wake for a recycled slot:
+    // re-check the predicate and keep waiting.
+  }
+}
+
+void RequestQueue::acquire_parked_condvar(Ticket t, Slot* s) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms_);
   std::unique_lock park(s->park_mu);
@@ -244,6 +341,16 @@ Ticket RequestQueue::reinsert_and_release(Ticket t, AccessMode mode) {
 
 void RequestQueue::wake_parked(const std::vector<Slot*>& wake) {
   for (Slot* s : wake) {
+    if (futex_) {
+      // The grant (word exchange) happened before this seq bump; a waiter
+      // that read the old seq re-checks the word and returns, one that
+      // read the new seq sees EAGAIN from the kernel. Either way no
+      // mutex is touched on the hand-off path.
+      s->seq.fetch_add(1, std::memory_order_release);
+      futex_wake(s->seq, /*all=*/true);
+      futex_wakes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     // Empty critical section: a parked owner holds park_mu from its state
     // transition until it enters the condvar wait, so locking here ensures
     // the notify cannot slip into that gap. A slot recycled in the

@@ -20,11 +20,17 @@
 // scan anywhere. Each request lives in a reusable Slot whose atomic state
 // word packs (ticket << 2) | phase; grants are published by flipping that
 // word, which makes granted() and the already-granted acquire() fast path
-// lock-free. Blocked acquirers park on their own slot's mutex/condvar and
-// only the newly granted writer — or exactly the parked members of a newly
-// granted reader group — are woken (no broadcast). The slot window grows
-// by doubling; superseded windows are retired, never freed, so stale
+// lock-free. Blocked acquirers park on their own slot's futex word
+// (ORWL_FUTEX=1, the default — see runtime/futex.hpp) or mutex/condvar
+// pair (ORWL_FUTEX=0, and the portability fallback), and only the newly
+// granted writer — or exactly the parked members of a newly granted
+// reader group — are woken (no broadcast). The slot window grows by
+// doubling; superseded windows are retired, never freed, so stale
 // lock-free lookups stay safe (the state-word ticket check rejects them).
+//
+// Memory: windows and slot chunks come from the queue's rt::Arena (the
+// arena of the control shard serving this queue, node-bound) — nothing
+// on the grant path touches the global heap after warm-up.
 #pragma once
 
 #include <atomic>
@@ -34,6 +40,7 @@
 #include <mutex>
 #include <vector>
 
+#include "runtime/arena.hpp"
 #include "runtime/types.hpp"
 
 namespace orwl::rt {
@@ -62,9 +69,35 @@ class GrantHook {
 
 class RequestQueue {
  public:
-  RequestQueue();
+  /// `arena` backs the slot window and slot chunks (null = the process
+  /// fallback arena). Futex parking defaults to ORWL_FUTEX (on, Linux).
+  explicit RequestQueue(Arena* arena = nullptr);
+  ~RequestQueue();
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Switch future window/slot allocations to `arena` (null ignored).
+  /// Thread-safe: the Program re-points queues at their new shard's
+  /// arena on re-placement, possibly while requests are in flight;
+  /// existing blocks free back to the arena that made them.
+  void set_arena(Arena* arena) noexcept;
+  Arena* arena() const noexcept {
+    return arena_.load(std::memory_order_acquire);
+  }
+
+  /// Force futex (true) or mutex+condvar (false) parking, overriding
+  /// ORWL_FUTEX — test hook. Forced back off where futexes are
+  /// unsupported. Not thread-safe; set before concurrent use.
+  void set_futex(bool on) noexcept;
+  bool futex_parking() const noexcept { return futex_; }
+
+  /// Parking-path statistics (ProgramStats::futex_*). Lock-free.
+  std::uint64_t futex_waits() const noexcept {
+    return futex_waits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t futex_wakes() const noexcept {
+    return futex_wakes_.load(std::memory_order_relaxed);
+  }
 
   /// Attach the control plane that performs grant hand-off. May be null
   /// (inline grants). Not thread-safe; call before concurrent use.
@@ -144,23 +177,25 @@ class RequestQueue {
 
   /// One request cell. Slots are arena-owned (stable addresses for the
   /// lifetime of the queue) and recycled through a freelist at release.
+  /// `seq` is the futex parking word; park_mu/park_cv serve the
+  /// ORWL_FUTEX=0 path.
   struct Slot {
     std::atomic<std::uint64_t> word{0};
     AccessMode mode = AccessMode::Read;  ///< written under mu_ at enqueue
+    std::atomic<std::uint32_t> seq{0};   ///< bumped per wake (futex path)
     std::mutex park_mu;
     std::condition_variable park_cv;
   };
 
   /// Ticket -> slot map for the live window: slot(t) = slots[t & mask].
-  /// Windows are published through window_ and retired (kept allocated)
-  /// when outgrown, so lock-free readers holding a stale window still
-  /// dereference valid memory; the state-word ticket check rejects any
-  /// aliased slot.
+  /// The header and its trailing slot-pointer array live in one arena
+  /// block. Windows are published through window_ and retired (kept
+  /// allocated) when outgrown, so lock-free readers holding a stale
+  /// window still dereference valid memory; the state-word ticket check
+  /// rejects any aliased slot.
   struct Window {
-    explicit Window(std::size_t capacity)
-        : mask(capacity - 1), slots(capacity) {}
     const std::uint64_t mask;
-    std::vector<std::atomic<Slot*>> slots;
+    std::atomic<Slot*>* slots;  ///< trailing array in the same block
   };
 
   static constexpr std::size_t kInitialWindowCapacity = 16;
@@ -172,6 +207,7 @@ class RequestQueue {
   /// Appends the request and returns its ticket; the caller adjusts
   /// pending_ (reinsert_and_release's +1/-1 pair cancels out).
   Ticket enqueue_locked(AccessMode mode);
+  Window* make_window_locked(std::size_t capacity);
   void grow_locked();
   /// The slot of `t` when it is live and granted, else nullptr.
   Slot* granted_slot_locked(Ticket t) const noexcept;
@@ -188,7 +224,9 @@ class RequestQueue {
   // ---- lock-free paths ---------------------------------------------------
 
   void acquire_slow(Ticket t);
-  static void wake_parked(const std::vector<Slot*>& wake);
+  void acquire_parked_futex(Ticket t, Slot* s);
+  void acquire_parked_condvar(Ticket t, Slot* s);
+  void wake_parked(const std::vector<Slot*>& wake);
 
   /// Entry point used by control threads to perform the hand-off.
   void grant_from_control();
@@ -198,14 +236,18 @@ class RequestQueue {
   Ticket tail_ = 1;          ///< next ticket to issue
   Ticket grant_cursor_ = 1;  ///< one past the last granted ticket
   Window* cur_ = nullptr;    ///< current window (same object window_ holds)
-  std::vector<std::unique_ptr<Window>> windows_;  ///< current + retired
-  std::vector<std::unique_ptr<Slot[]>> slab_;     ///< stable slot storage
+  std::vector<Window*> windows_;      ///< current + retired (arena blocks)
+  std::vector<Slot*> slot_chunks_;    ///< stable slot storage (arena blocks)
   std::vector<Slot*> free_slots_;
 
   std::atomic<const Window*> window_{nullptr};  ///< lock-free lookup handle
   std::atomic<std::uint64_t> grants_{0};
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> futex_waits_{0};
+  std::atomic<std::uint64_t> futex_wakes_{0};
 
+  std::atomic<Arena*> arena_;  ///< allocation source (re-pointed on route)
+  bool futex_;                 ///< futex vs condvar parking
   std::uint64_t timeout_ms_ = 120000;
   GrantHook* hook_ = nullptr;
   ControlPlane* control_ = nullptr;

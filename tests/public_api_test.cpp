@@ -482,6 +482,48 @@ TEST(Fifo, EndpointLookupChecksIdentityAndType) {
   b.build().run();
 }
 
+TEST(Fifo, UntypedByteChannelRoundTrip) {
+  // fifo_out_bytes: the wire format is the application's business — the
+  // channel moves `kItemBytes` raw bytes per item, and both endpoints use
+  // the T = void byte view.
+  static constexpr std::size_t kItemBytes = 48;
+  static constexpr std::size_t kItems = 12;
+  ProgramBuilder b(2, quiet());
+  b.task(0)
+      .fifo_out_bytes("wire", kItemBytes, /*depth=*/3)
+      .body([](Task& task) {
+        FifoOut<> out = task.fifo_out<>("wire");
+        EXPECT_EQ(out.depth(), 3u);
+        for (std::size_t i = 0; i < kItems; ++i) {
+          std::span<std::byte> item = out.begin_push();
+          ASSERT_EQ(item.size(), kItemBytes);
+          for (std::size_t j = 0; j < item.size(); ++j) {
+            item[j] = static_cast<std::byte>((i * 7 + j) & 0xFF);
+          }
+          out.end_push();
+        }
+      });
+  std::atomic<std::size_t> bad{0};
+  b.task(1).fifo_in<>("wire").body([&](Task& task) {
+    FifoIn<> in = task.fifo_in<>("wire");
+    EXPECT_NO_THROW(task.fifo_in<int>("wire"))
+        << "an untyped declaration is a wildcard: typed views are allowed";
+    for (std::size_t i = 0; i < kItems; ++i) {
+      std::span<const std::byte> item = in.begin_pop();
+      ASSERT_EQ(item.size(), kItemBytes);
+      for (std::size_t j = 0; j < item.size(); ++j) {
+        if (item[j] != static_cast<std::byte>((i * 7 + j) & 0xFF)) {
+          bad.fetch_add(1);
+        }
+      }
+      in.end_pop();
+    }
+    EXPECT_EQ(in.popped(), kItems);
+  });
+  b.build().run();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
 TEST(Fifo, BuildRejectsMalformedChannels) {
   {
     // Unknown channel name.

@@ -503,6 +503,110 @@ TEST(RequestQueue, StressMixedModesFifoGroupsAndGrantCount) {
   }
 }
 
+// ------------------------------------------- futex vs condvar parking ----
+
+// Every blocking behavior must be identical under both parking paths;
+// ORWL_FUTEX only changes *how* a parked thread sleeps, never *when* it
+// wakes. The fixture forces the path explicitly so the suite covers both
+// regardless of the environment's default.
+class RequestQueueParking : public ::testing::TestWithParam<bool> {
+ protected:
+  bool want_futex() const { return GetParam(); }
+  void configure(RequestQueue& q) const {
+    q.set_futex(want_futex());
+    if (want_futex()) {
+      // On hosts without futex support set_futex downgrades; skip the
+      // futex leg there rather than re-testing the condvar path twice.
+      if (!q.futex_parking()) GTEST_SKIP() << "no futex on this host";
+    } else {
+      ASSERT_FALSE(q.futex_parking());
+    }
+  }
+};
+
+TEST_P(RequestQueueParking, AcquireBlocksUntilGrant) {
+  RequestQueue q;
+  configure(q);
+  const Ticket w1 = q.enqueue(AccessMode::Write);
+  const Ticket w2 = q.enqueue(AccessMode::Write);
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    q.acquire(w2);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  q.release(w1);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  if (want_futex()) {
+    EXPECT_GE(q.futex_wakes(), 1u);
+  } else {
+    EXPECT_EQ(q.futex_waits(), 0u);
+    EXPECT_EQ(q.futex_wakes(), 0u);
+  }
+}
+
+TEST_P(RequestQueueParking, AcquireTimesOutOnDeadlock) {
+  RequestQueue q;
+  configure(q);
+  q.set_acquire_timeout(50);
+  q.enqueue(AccessMode::Write);  // never released
+  const Ticket w2 = q.enqueue(AccessMode::Write);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(q.acquire(w2), std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(45));
+}
+
+TEST_P(RequestQueueParking, TimedOutTicketStillGrantableLater) {
+  RequestQueue q;
+  configure(q);
+  q.set_acquire_timeout(30);
+  const Ticket w1 = q.enqueue(AccessMode::Write);
+  const Ticket w2 = q.enqueue(AccessMode::Write);
+  EXPECT_THROW(q.acquire(w2), std::runtime_error);
+  q.release(w1);
+  q.acquire(w2);  // grant arrived after the timeout: still usable
+  q.release(w2);
+}
+
+TEST_P(RequestQueueParking, ManyThreadsMutualExclusion) {
+  RequestQueue q;
+  configure(q);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<Ticket> tickets(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tickets[static_cast<std::size_t>(t)] = q.enqueue(AccessMode::Write);
+  }
+  int counter = 0;
+  std::atomic<int> in_section{0};
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Ticket mine = tickets[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kIters; ++i) {
+        q.acquire(mine);
+        if (in_section.fetch_add(1) != 0) overlap.store(true);
+        ++counter;
+        in_section.fetch_sub(1);
+        mine = q.reinsert_and_release(mine, AccessMode::Write);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+INSTANTIATE_TEST_SUITE_P(FutexAndCondvar, RequestQueueParking,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "futex" : "condvar";
+                         });
+
 // ------------------------------------------------------ control plane ----
 
 TEST(ControlPlane, HandsOffGrantsThroughControlThreads) {

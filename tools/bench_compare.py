@@ -55,8 +55,42 @@ def load_benchmarks(path):
         out[name] = {"ips": float(ips) if ips else None,
                      "rt": float(rt) if rt else None,
                      "recovery": float(recovery)
-                     if recovery is not None else None}
+                     if recovery is not None else None,
+                     "raw": b}
     return out
+
+
+def zero_counter_gate(cur, counters):
+    """Fail when any benchmark reports a non-zero value for a gated
+    counter (e.g. arena_node_misses: a runtime slab bound to the wrong
+    NUMA node). A counter absent from EVERY benchmark also fails — the
+    gate must notice when the annotation disappears rather than silently
+    passing."""
+    rc = 0
+    for counter in counters:
+        seen = 0
+        bad = []
+        for name, entry in sorted(cur.items()):
+            value = entry["raw"].get(counter)
+            if value is None:
+                continue
+            seen += 1
+            if float(value) != 0.0:
+                bad.append((name, float(value)))
+        if seen == 0:
+            print(f"bench_compare: counter '{counter}' missing from every "
+                  "benchmark in the current file; failing the zero gate.",
+                  file=sys.stderr)
+            rc = 1
+        elif bad:
+            print(f"bench_compare: counter '{counter}' must be 0 but:",
+                  file=sys.stderr)
+            for name, value in bad:
+                print(f"  {name}: {counter} = {value:g}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"zero gate: {counter} == 0 across {seen} benchmark(s).")
+    return rc
 
 
 def throughput(base_entry, cur_entry):
@@ -121,9 +155,22 @@ def main():
     ap.add_argument("--off-benchmark",
                     default="BM_MisdeclaredWorkload_off",
                     help="no-replacement benchmark reported for contrast")
+    ap.add_argument("--require-zero", action="append", default=[],
+                    metavar="COUNTER",
+                    help="fail when any benchmark in the current file "
+                         "reports a non-zero value for this counter "
+                         "(repeatable; e.g. arena_node_misses)")
     args = ap.parse_args()
 
     cur = load_benchmarks(args.current)
+
+    zero_rc = 0
+    if args.require_zero:
+        if cur is None:
+            print("bench_compare: current results unreadable; failing.",
+                  file=sys.stderr)
+            return 1
+        zero_rc = zero_counter_gate(cur, args.require_zero)
 
     if args.min_recovery is not None:
         if cur is None:
@@ -131,14 +178,18 @@ def main():
                   file=sys.stderr)
             return 1
         return recovery_gate(cur, args.min_recovery,
-                             args.recovery_benchmark, args.off_benchmark)
+                             args.recovery_benchmark,
+                             args.off_benchmark) or zero_rc
 
     if not args.baseline:
-        ap.error("--baseline is required unless --min-recovery is used")
+        if args.require_zero:
+            return zero_rc
+        ap.error("--baseline is required unless --min-recovery or "
+                 "--require-zero is used")
     base = load_benchmarks(args.baseline)
     if base is None:
         print("bench_compare: no baseline snapshot; nothing to compare.")
-        return 0
+        return zero_rc
     if cur is None:
         print("bench_compare: current results unreadable; failing.",
               file=sys.stderr)
@@ -150,13 +201,13 @@ def main():
         print(f"bench_compare: reference '{args.reference}' missing (or "
               "unit-inconsistent) in one of the files; cannot normalize, "
               "skipping the gate.")
-        return 0
+        return zero_rc
     ref_base, ref_cur = ref
 
     common = sorted(set(base) & set(cur) - {args.reference})
     if not common:
         print("bench_compare: no common benchmarks; skipping the gate.")
-        return 0
+        return zero_rc
 
     regressions = []
     width = max(len(n) for n in common)
@@ -185,7 +236,7 @@ def main():
         return 1
     print(f"\nbench_compare: OK ({len(common)} benchmarks within "
           f"{args.threshold}x of the snapshot).")
-    return 0
+    return zero_rc
 
 
 if __name__ == "__main__":
