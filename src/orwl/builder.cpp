@@ -104,7 +104,18 @@ Program ProgramBuilder::build() {
     }
     p.iterations_[t] = spec.iterations_;
     p.init_[t] = spec.init_;
-    p.bodies_[t] = spec.body_ ? spec.body_ : spmd_body_;
+    if (spec.for_each_item_) {
+      // Synthesized dynamic-work body: seed, then join the collective.
+      const SeedsFn seeds = spec.for_each_seeds_;
+      const ForEachBody item = spec.for_each_item_;
+      p.bodies_[t] = [seeds, item](Task& task) {
+        std::vector<std::uint64_t> s;
+        if (seeds) s = seeds(task);
+        task.for_each(s, item);
+      };
+    } else {
+      p.bodies_[t] = spec.body_ ? spec.body_ : spmd_body_;
+    }
   }
 
   // Pre-register every declared access: the runtime's task-location

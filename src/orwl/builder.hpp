@@ -34,6 +34,10 @@
 
 namespace orwl {
 
+/// Seeds of a declared for_each, computed on the task's own thread
+/// after the schedule barrier (e.g. this task's share of a frontier).
+using SeedsFn = std::function<std::vector<std::uint64_t>(Task&)>;
+
 /// Declaration record of one task; obtained from ProgramBuilder::task().
 /// All declarators return *this for chaining.
 class TaskSpec {
@@ -135,6 +139,18 @@ class TaskSpec {
     return *this;
   }
 
+  /// Declarative dynamic work: build() synthesizes a body that computes
+  /// this task's seeds and drives the Task::for_each collective with
+  /// `item` under the steal executor. Overrides body()/SPMD for this
+  /// task; every task of the program must then declare a for_each (the
+  /// collective blocks for all of them), and all `item` bodies must be
+  /// functionally identical.
+  TaskSpec& for_each(SeedsFn seeds, ForEachBody item) {
+    for_each_seeds_ = std::move(seeds);
+    for_each_item_ = std::move(item);
+    return *this;
+  }
+
  private:
   friend class ProgramBuilder;
 
@@ -188,6 +204,8 @@ class TaskSpec {
   std::size_t iterations_ = 0;
   TaskBody init_;
   TaskBody body_;
+  SeedsFn for_each_seeds_;
+  ForEachBody for_each_item_;
 };
 
 class ProgramBuilder {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <typeinfo>
@@ -31,6 +32,7 @@
 #include "runtime/fifo.hpp"
 #include "runtime/handle.hpp"
 #include "runtime/program.hpp"
+#include "runtime/steal_executor.hpp"
 
 namespace orwl {
 
@@ -40,6 +42,33 @@ class ProgramBuilder;
 
 /// Body of one task in the v2 surface.
 using TaskBody = std::function<void(Task&)>;
+
+/// Combiner of the all-task iteration reduction (reduce_iteration and
+/// the converged run_iterations driver). Sum is the historical default;
+/// Min/Max serve predicates like "stop when the largest block residual
+/// drops below eps" without sign tricks.
+enum class ReduceOp { Sum, Min, Max };
+
+/// Handed to every Task::for_each item body. push() publishes a newly
+/// discovered work item into the executing worker's deque, where any
+/// participating task can steal it — the dynamic-work alternative to
+/// recursing on the discovering task's stack.
+class StealContext {
+ public:
+  void push(std::uint64_t item) { wc_->push(item); }
+
+  /// Index of the worker executing this item (== the task id for task
+  /// workers, >= num_tasks for lock-blocked lenders).
+  std::size_t worker() const noexcept { return wc_->worker(); }
+
+ private:
+  friend class Program;
+  explicit StealContext(rt::StealExecutor::WorkerContext& wc) : wc_(&wc) {}
+  rt::StealExecutor::WorkerContext* wc_;
+};
+
+/// Body of one dynamic work item (Task::for_each).
+using ForEachBody = std::function<void(std::uint64_t, StealContext&)>;
 
 /// Program construction options (the v1 options re-exported: affinity
 /// mode, data transfer, control threads/shards, topology, dry_run, ...).
@@ -116,12 +145,17 @@ class Program {
   rt::FifoConsumer& fifo_consumer(TaskId task, std::string_view name,
                                   const std::type_info* type);
 
-  /// All-task sum reduction used by the converged-predicate iteration
+  /// All-task reduction used by the converged-predicate iteration
   /// driver: blocks until every task of the program has contributed one
-  /// value for the current generation, then returns the global sum to
-  /// all of them. Every task must call it the same number of times
-  /// (Task::run_iterations(pred, body) guarantees that).
-  double reduce_iteration(double value);
+  /// value for the current generation, then returns the combined value
+  /// to all of them. Every task must call it the same number of times
+  /// with the same combiner (Task::run_iterations(pred, body, op)
+  /// guarantees that); a combiner mismatch within one generation throws
+  /// std::logic_error.
+  double reduce_iteration(double value, ReduceOp op);
+  double reduce_iteration(double value) {
+    return reduce_iteration(value, ReduceOp::Sum);
+  }
 
  private:
   friend class Task;
@@ -178,9 +212,33 @@ class Program {
     std::condition_variable cv;
     std::size_t arrived = 0;
     std::uint64_t generation = 0;
-    double sum = 0.0;
+    double acc = 0.0;           ///< running combination, seeded by the
+                                ///< first arriver of each generation
+    ReduceOp op = ReduceOp::Sum;  ///< combiner of the open generation
     double published = 0.0;
   };
+
+  /// State of the for_each collective (heap-allocated: Program stays
+  /// movable). The executor is built lazily by the first task that
+  /// reaches a for_each and is reused by every later collective.
+  struct StealState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t arrived = 0;
+    std::size_t exited = 0;
+    std::uint64_t generation = 0;       ///< entry barrier epoch
+    std::uint64_t exit_generation = 0;  ///< exit barrier epoch
+    std::unique_ptr<rt::StealExecutor> exec;
+    rt::StealExecutor::ItemFn session_fn;  ///< lender body (outlives session)
+  };
+
+  /// The collective behind Task::for_each: entry rendezvous (everyone
+  /// seeds its own deque before any worker starts), the steal loop, and
+  /// an exit rendezvous (nobody seeds the next collective while a
+  /// worker of this one could still sweep).
+  void for_each_impl(TaskId task, rt::TaskContext& ctx,
+                     std::span<const std::uint64_t> seeds,
+                     const ForEachBody& body);
 
   std::unique_ptr<rt::Program> rt_;
   bool declarative_ = false;
@@ -190,6 +248,7 @@ class Program {
   std::vector<TaskBody> bodies_;
   std::vector<std::unique_ptr<FifoChannel>> fifos_;  // declaration order
   std::unique_ptr<Reducer> red_ = std::make_unique<Reducer>();
+  std::unique_ptr<StealState> steal_ = std::make_unique<StealState>();
 };
 
 /// Per-task view of a v2 program — the argument of every task body.
@@ -317,25 +376,44 @@ class Task {
 
   /// Converged-predicate iteration driver: `body(iter)` returns this
   /// task's local contribution (e.g. its block's residual), the values
-  /// are sum-reduced across ALL tasks of the program at the iteration
-  /// boundary, and every task keeps iterating until `pred(global_sum)`
-  /// says stop. Because each task evaluates the same predicate on the
-  /// same global sum, termination is uniform — no task can leave the
-  /// loop while another re-inserts its locks. Every task of the program
-  /// must drive its loop through this overload (the reduction blocks
-  /// for all of them). Returns the number of iterations executed
+  /// are reduced with `op` across ALL tasks of the program at the
+  /// iteration boundary (sum by default), and every task keeps
+  /// iterating until `pred(global)` says stop. Because each task
+  /// evaluates the same predicate on the same combined value,
+  /// termination is uniform — no task can leave the loop while another
+  /// re-inserts its locks. Every task of the program must drive its
+  /// loop through this overload with the same `op` (the reduction
+  /// blocks for all of them). Returns the number of iterations executed
   /// (0 in dry-run programs).
   template <typename Pred, typename F>
     requires(std::is_invocable_r_v<bool, Pred&, double> &&
              std::is_invocable_r_v<double, F&, std::size_t>)
-  std::size_t run_iterations(Pred&& pred, F&& body) {
+  std::size_t run_iterations(Pred&& pred, F&& body,
+                             ReduceOp op = ReduceOp::Sum) {
     if (dry_run()) return 0;
     for (std::size_t i = 0;; ++i) {
       const double local = body(i);
-      const double global = prog_->reduce_iteration(local);
+      const double global = prog_->reduce_iteration(local, op);
       ctx_->program().replace_tick();
       if (pred(global)) return i + 1;
     }
+  }
+
+  // ---- dynamic work (the steal executor, Sec. IV-A's thaw in reverse) -----
+
+  /// Collective dynamic-work driver: every task of the program calls
+  /// for_each with its share of the initial items; the items — plus
+  /// everything the bodies push() — are executed by all tasks together
+  /// under the topology-aware steal executor (ORWL_STEAL /
+  /// Options::steal policy), and the call returns on every task once
+  /// ALL items are done (hierarchical termination detection, no
+  /// ping-pong barrier). Bodies of one collective must be functionally
+  /// identical across tasks and must not acquire ORWL locks (a blocked
+  /// acquire inside an item would stall the worker's deque). No-op
+  /// under dry-run.
+  void for_each(std::span<const std::uint64_t> seeds,
+                const ForEachBody& body) {
+    prog_->for_each_impl(id(), *ctx_, seeds, body);
   }
 
   /// The wrapped v1 context — escape hatch for rt:: interop (FIFO

@@ -29,6 +29,20 @@ std::uintptr_t align_up(std::uintptr_t v, std::size_t align) noexcept {
   return (v + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
 }
 
+// Arena identities are handed out from a process-wide counter so a
+// magazine can tell "the arena I cached blocks from" apart from "a new
+// arena that happens to live at the same address".
+std::atomic<std::uint64_t> g_arena_ids{1};
+
+// Registry of live arenas by id, so a dying thread can flush its
+// magazines back without dereferencing a possibly-dead arena pointer.
+std::mutex g_arena_reg_mu;
+std::vector<std::pair<std::uint64_t, Arena*>>& arena_registry() {
+  static std::vector<std::pair<std::uint64_t, Arena*>>* reg =
+      new std::vector<std::pair<std::uint64_t, Arena*>>();
+  return *reg;
+}
+
 }  // namespace
 
 /// Prefixed to every allocation at (result - sizeof(Header)), so a bare
@@ -64,20 +78,149 @@ void write_header(void* result, Arena* owner, void* block,
 }
 }  // namespace
 
+// ---- per-thread magazines ---------------------------------------------
+//
+// A magazine is a small per-(thread, arena, size-class) stack of free
+// blocks sitting in front of the arena mutex: a free parks the block in
+// the calling thread's magazine, the next same-class allocation on that
+// thread pops it back without touching the lock. The lock used to be
+// cold; the steal executor's deques and per-item scratch warm it, and
+// the magazines keep the steady state mutex-free.
+//
+// Safety without cross-thread flushes: entries are validated against
+// the arena's never-reused id (a dead arena's blocks died with its
+// slabs — the pointers are simply dropped) and its rebind epoch (a
+// moved arena gets its cached blocks flushed back to the shared
+// freelists by the owning thread). Only the owning thread ever touches
+// its magazines, so there is nothing to race with; on thread exit the
+// blocks are returned through the live-arena registry.
+struct ThreadMagazines {
+  static constexpr std::size_t kSlots = 4;   ///< distinct arenas cached
+  static constexpr std::size_t kDepth = 16;  ///< blocks per size class
+
+  struct Slot {
+    std::uint64_t arena_id = 0;  ///< 0 = empty slot
+    Arena* arena = nullptr;
+    std::uint64_t epoch = 0;
+    std::uint8_t count[kNumClasses] = {};
+    void* blocks[kNumClasses][kDepth];
+  };
+
+  Slot slots[kSlots];
+  std::size_t next_evict = 0;
+
+  ~ThreadMagazines() {
+    for (Slot& s : slots) flush(s);
+  }
+
+  /// Return every cached block of `s` to its arena's shared freelists
+  /// (via the registry: the arena may be gone) and empty the slot.
+  void flush(Slot& s) {
+    if (s.arena_id == 0) return;
+    Arena* live = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(g_arena_reg_mu);
+      for (const auto& [id, a] : arena_registry()) {
+        if (id == s.arena_id) {
+          live = a;
+          break;
+        }
+      }
+    }
+    if (live != nullptr) {
+      for (std::size_t c = 0; c < kNumClasses; ++c) {
+        if (s.count[c] > 0) {
+          live->take_back_blocks(static_cast<std::uint32_t>(c), s.blocks[c],
+                                 s.count[c]);
+        }
+      }
+    }
+    s.arena_id = 0;
+    s.arena = nullptr;
+    for (std::size_t c = 0; c < kNumClasses; ++c) s.count[c] = 0;
+  }
+
+  /// The slot caching `arena`, claiming (and flushing) one if absent.
+  Slot& slot_for(Arena* arena, std::uint64_t id, std::uint64_t epoch) {
+    for (Slot& s : slots) {
+      if (s.arena != arena || s.arena_id == 0) continue;
+      if (s.arena_id != id) {
+        // Same address, different identity: the cached arena died and
+        // its slabs were unmapped — the block pointers are dead weight.
+        s.arena_id = 0;
+        for (std::size_t c = 0; c < kNumClasses; ++c) s.count[c] = 0;
+        break;
+      }
+      if (s.epoch != epoch) {
+        // rebind() moved the arena: push the cached blocks back so
+        // future carves come from freelists on the new node's slabs.
+        flush(s);
+        break;
+      }
+      return s;
+    }
+    for (Slot& s : slots) {
+      if (s.arena_id == 0) {
+        s.arena_id = id;
+        s.arena = arena;
+        s.epoch = epoch;
+        return s;
+      }
+    }
+    Slot& victim = slots[next_evict];
+    next_evict = (next_evict + 1) % kSlots;
+    flush(victim);
+    victim.arena_id = id;
+    victim.arena = arena;
+    victim.epoch = epoch;
+    return victim;
+  }
+};
+
+namespace {
+thread_local ThreadMagazines tl_magazines;
+}  // namespace
+
 Arena::Arena(int node, std::size_t slab_bytes)
     : slab_bytes_(std::max(slab_bytes, std::size_t{4096})),
       heap_(!enabled_from_env()),
-      node_(node) {
+      node_(node),
+      id_(g_arena_ids.fetch_add(1, std::memory_order_relaxed)) {
   free_.assign(kNumClasses, nullptr);
+  std::lock_guard<std::mutex> lock(g_arena_reg_mu);
+  arena_registry().emplace_back(id_, this);
 }
 
 Arena::~Arena() {
+  {
+    std::lock_guard<std::mutex> lock(g_arena_reg_mu);
+    auto& reg = arena_registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      if (reg[i].first == id_) {
+        reg[i] = reg.back();
+        reg.pop_back();
+        break;
+      }
+    }
+  }
   // Every runtime component frees its blocks in its own destructor
   // before the Program's arenas go away (member declaration order);
-  // a live allocation here is a lifetime bug upstream.
+  // a live allocation here is a lifetime bug upstream. Blocks still
+  // cached in thread magazines were already counted as freed and die
+  // with the slabs (the magazines drop them on the id mismatch).
   assert(allocs_.load(std::memory_order_relaxed) ==
          frees_.load(std::memory_order_relaxed));
   // MemBind destructors unmap the slabs and large mappings.
+}
+
+void Arena::take_back_blocks(std::uint32_t cls, void* const* blocks,
+                             std::size_t n) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    void* block = blocks[i];
+    *static_cast<void**>(block) = free_[cls];
+    free_[cls] = block;
+  }
 }
 
 bool Arena::enabled_from_env() {
@@ -133,6 +276,22 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     // escape hatch.
     allocs_.fetch_add(1, std::memory_order_relaxed);
     return result;
+  }
+
+  // Magazine fast path: same thread freed a same-class block recently.
+  if (need <= class_bytes(kNumClasses - 1) && need <= slab_bytes_ / 2) {
+    const std::size_t idx = class_index(need);
+    ThreadMagazines::Slot& slot = tl_magazines.slot_for(
+        this, id_, mag_epoch_.load(std::memory_order_acquire));
+    if (slot.count[idx] > 0) {
+      void* block = slot.blocks[idx][--slot.count[idx]];
+      void* result = reinterpret_cast<void*>(align_up(
+          reinterpret_cast<std::uintptr_t>(block) + kHeaderSize, align));
+      write_header(result, this, block, static_cast<std::uint32_t>(idx));
+      allocs_.fetch_add(1, std::memory_order_relaxed);
+      magazine_hits_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -192,6 +351,9 @@ void Arena::release(Header* h) noexcept {
     ::operator delete(h->block);
     return;
   }
+  // Small blocks park in the freeing thread's magazine when there is
+  // room; the next same-class alloc on that thread skips the mutex.
+  if (h->size_class < kNumClasses && magazine_put(h)) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (h->size_class == kClassLarge) {
     for (std::size_t i = 0; i < large_.size(); ++i) {
@@ -212,12 +374,25 @@ void Arena::release(Header* h) noexcept {
   free_[h->size_class] = block;
 }
 
+bool Arena::magazine_put(Header* h) noexcept {
+  ThreadMagazines::Slot& slot = tl_magazines.slot_for(
+      this, id_, mag_epoch_.load(std::memory_order_acquire));
+  const std::uint32_t cls = h->size_class;
+  if (slot.count[cls] >= ThreadMagazines::kDepth) return false;
+  slot.blocks[cls][slot.count[cls]++] = h->block;
+  return true;
+}
+
 void Arena::rebind(int node) {
   if (heap_) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (node == node_.load(std::memory_order_relaxed)) return;
   node_.store(node, std::memory_order_release);
   rebinds_.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate every thread's magazines for this arena: the next
+  // slot_for() sees the new epoch and flushes, so cached blocks return
+  // to the shared freelists and reuse follows the new placement.
+  mag_epoch_.fetch_add(1, std::memory_order_release);
   for (topo::MemBind& slab : slabs_) slab.migrate_to(node);
   for (auto& [ptr, mb] : large_) mb.migrate_to(node);
 }
@@ -230,6 +405,7 @@ Arena::Stats Arena::stats() const noexcept {
   s.allocs = allocs_.load(std::memory_order_relaxed);
   s.frees = frees_.load(std::memory_order_relaxed);
   s.rebinds = rebinds_.load(std::memory_order_relaxed);
+  s.magazine_hits = magazine_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -43,6 +43,8 @@ namespace orwl::rt {
 /// (placement-blind legacy path), shard (default) uses node-bound slabs.
 inline constexpr const char* kArenaEnvVar = "ORWL_ARENA";
 
+struct ThreadMagazines;  // per-thread block caches (arena.cpp)
+
 class Arena {
  public:
   struct Header;  ///< per-allocation prefix (layout private to arena.cpp)
@@ -64,6 +66,8 @@ class Arena {
     std::uint64_t allocs = 0;
     std::uint64_t frees = 0;
     std::uint64_t rebinds = 0;         ///< rebind() calls that moved node
+    std::uint64_t magazine_hits = 0;   ///< allocs served mutex-free from a
+                                       ///< thread-local magazine
   };
 
   /// `node` is the NUMA node backing slabs are bound to (kAnyNode =
@@ -110,6 +114,13 @@ class Arena {
   void* allocate_locked(std::size_t need, std::size_t bytes,
                         std::size_t align);
   void release(Header* h) noexcept;
+  /// Return magazine-cached blocks of size class `cls` to the shared
+  /// freelist (flush path: rebind epoch bump, slot eviction, thread exit).
+  void take_back_blocks(std::uint32_t cls, void* const* blocks,
+                        std::size_t n) noexcept;
+  /// Park a freed small block in the calling thread's magazine.
+  /// False when the magazine class is full (caller takes the mutex path).
+  bool magazine_put(Header* h) noexcept;
   void note_backing(const topo::MemBind& mb, std::size_t bytes, int node);
 
   static std::size_t class_index(std::size_t need) noexcept;
@@ -130,6 +141,18 @@ class Arena {
   std::atomic<std::uint64_t> allocs_{0};
   std::atomic<std::uint64_t> frees_{0};
   std::atomic<std::uint64_t> rebinds_{0};
+  std::atomic<std::uint64_t> magazine_hits_{0};
+
+  /// Identity of this arena object (never reused, unlike the address)
+  /// and the epoch its thread-local magazines were filled under. A
+  /// magazine entry is honoured only when both match: a stale id means
+  /// the arena died (the cached blocks went with its slabs — drop
+  /// them), a stale epoch means rebind() moved the arena (flush the
+  /// cache back to the shared freelists so placement follows).
+  const std::uint64_t id_;
+  std::atomic<std::uint64_t> mag_epoch_{0};
+
+  friend struct ThreadMagazines;
 };
 
 /// Placement-new a T from `arena`; pair with arena_delete / ArenaPtr.

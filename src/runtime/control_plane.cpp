@@ -93,6 +93,7 @@ void ControlPlane::stop() {
     {
       std::unique_lock lock(shard->mu);
       leftovers.swap(shard->events);
+      shard->size_hint.store(0, std::memory_order_relaxed);
     }
     std::vector<RequestQueue*> unique_queues(leftovers.begin(),
                                              leftovers.end());
@@ -124,6 +125,7 @@ void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
     if (!shard.stopping &&
         (shard_capacity_ == 0 || shard.events.size() < shard_capacity_)) {
       shard.events.push_back(q);
+      shard.size_hint.store(shard.events.size(), std::memory_order_relaxed);
       lock.unlock();
       wake_shard(shard, /*all=*/false);
       return;
@@ -134,10 +136,52 @@ void ControlPlane::post(RequestQueue* q, std::size_t shard_index) {
   inline_grants_.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool ControlPlane::steal_events(std::size_t self, EventDeque& out) {
+  if (num_shards_ < 2) return false;
+  // Pick the fullest sibling by its published size hint — no sibling
+  // mutex is touched until one victim is chosen, and the caller holds no
+  // shard mutex here, so two shard locks are never held at once.
+  std::size_t victim = num_shards_;
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (s == self) continue;
+    const std::size_t n = shards_[s]->size_hint.load(std::memory_order_relaxed);
+    if (n > best) {
+      best = n;
+      victim = s;
+    }
+  }
+  if (victim == num_shards_) return false;
+  Shard& v = *shards_[victim];
+  // try_lock: if the victim's own worker (or a poster) is active on the
+  // shard right now, the events are already being taken care of.
+  std::unique_lock lock(v.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  const std::size_t take = (v.events.size() + 1) / 2;
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(v.events.front());  // oldest first: keep FIFO fairness
+    v.events.pop_front();
+  }
+  v.size_hint.store(v.events.size(), std::memory_order_relaxed);
+  return take > 0;
+}
+
 void ControlPlane::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   EventDeque batch{ArenaAllocator<RequestQueue*>(shard.arena)};
   std::vector<RequestQueue*> unique_queues;
+  // Batched draining: grant every event of the wakeup outside the shard
+  // mutex, so posters never wait behind grant work, deduplicated so a
+  // busy queue is granted once per batch.
+  const auto drain_batch = [&](bool stolen) {
+    unique_queues.assign(batch.begin(), batch.end());
+    dedupe_queues(unique_queues);
+    for (RequestQueue* q : unique_queues) q->grant_from_control();
+    shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) shard.steals.fetch_add(batch.size(), std::memory_order_relaxed);
+    batch.clear();
+  };
   for (;;) {
     {
       std::unique_lock lock(shard.mu);
@@ -151,26 +195,35 @@ void ControlPlane::worker_loop(std::size_t shard_index) {
           const std::uint32_t seq =
               shard.seq.load(std::memory_order_acquire);
           lock.unlock();
+          // Before parking, lend a hand to a loaded sibling shard.
+          if (steal_events(shard_index, batch)) {
+            drain_batch(/*stolen=*/true);
+            lock.lock();
+            continue;
+          }
           shard.futex_waits.fetch_add(1, std::memory_order_relaxed);
           futex_wait(shard.seq, seq, /*timeout_ms=*/0);
           lock.lock();
         }
       } else {
-        shard.cv.wait(lock,
-                      [&] { return shard.stopping || !shard.events.empty(); });
+        while (!shard.stopping && shard.events.empty()) {
+          lock.unlock();
+          if (steal_events(shard_index, batch)) {
+            drain_batch(/*stolen=*/true);
+            lock.lock();
+            continue;
+          }
+          lock.lock();
+          shard.cv.wait(lock, [&] {
+            return shard.stopping || !shard.events.empty();
+          });
+        }
       }
       if (shard.events.empty()) return;  // stopping and fully drained
       batch.swap(shard.events);
+      shard.size_hint.store(0, std::memory_order_relaxed);
     }
-    // Batched draining: grant every event of the wakeup outside the shard
-    // mutex, so posters never wait behind grant work, deduplicated so a
-    // busy queue is granted once per batch.
-    unique_queues.assign(batch.begin(), batch.end());
-    dedupe_queues(unique_queues);
-    for (RequestQueue* q : unique_queues) q->grant_from_control();
-    shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
-    shard.batches.fetch_add(1, std::memory_order_relaxed);
-    batch.clear();
+    drain_batch(/*stolen=*/false);
   }
 }
 
@@ -216,6 +269,14 @@ std::uint64_t ControlPlane::futex_wakes() const noexcept {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->futex_wakes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ControlPlane::shard_steals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->steals.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -133,6 +133,11 @@ class ControlPlane {
   std::uint64_t futex_waits() const noexcept;
   std::uint64_t futex_wakes() const noexcept;
 
+  /// Events stolen by idle shard workers from loaded sibling shards
+  /// (granted by the thief before it parks, instead of waiting for the
+  /// loaded shard's worker to catch up).
+  std::uint64_t shard_steals() const noexcept;
+
   bool futex_parking() const noexcept { return futex_; }
 
  private:
@@ -146,16 +151,21 @@ class ControlPlane {
     std::condition_variable cv;             ///< ORWL_FUTEX=0 path
     std::atomic<std::uint32_t> seq{0};      ///< futex wakeup word
     EventDeque events;
+    /// events.size() republished after every mutation under mu, so
+    /// sibling workers can pick a steal victim without touching mu.
+    std::atomic<std::size_t> size_hint{0};
     bool stopping = false;
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> futex_waits{0};
     std::atomic<std::uint64_t> futex_wakes{0};
+    std::atomic<std::uint64_t> steals{0};  ///< events taken FROM siblings
     Arena* arena;
   };
 
   void worker_loop(std::size_t shard_index);
   void wake_shard(Shard& shard, bool all);
+  bool steal_events(std::size_t self, EventDeque& out);
 
   const std::size_t num_threads_;
   const std::size_t num_shards_;

@@ -150,6 +150,8 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
   replace_threshold_ = resolve_replace_threshold(opts_.replace_threshold);
   replace_decay_ = resolve_replace_decay(opts_.replace_decay);
   replace_interval_ = resolve_replace_interval(opts_.replace_interval);
+  steal_mode_ = resolve_steal_mode(opts_.steal);
+  steal_spin_ = resolve_steal_spin(opts_.steal_spin);
   if (replace_policy_ != ReplaceMode::Off) {
     meter_ = std::make_unique<CommMeter>(control_->num_shards(), num_tasks_,
                                          cp_opts.shard_arenas);
@@ -705,15 +707,20 @@ void Program::run() {
     stats_.measured_remote_handoffs = meter_->remote_handoffs();
   }
   std::uint64_t arena_bytes = 0, arena_refills = 0, arena_misses = 0;
+  std::uint64_t arena_magazine_hits = 0;
   for (const auto& a : arenas_) {
     const Arena::Stats as = a->stats();
     arena_bytes += as.bytes_reserved;
     arena_refills += as.refills;
     arena_misses += as.node_misses;
+    arena_magazine_hits += as.magazine_hits;
   }
   stats_.arena_bytes = arena_bytes;
   stats_.arena_refills = arena_refills;
   stats_.arena_node_misses = arena_misses;
+  stats_.arena_magazine_hits = arena_magazine_hits;
+  stats_.shard_steals = control_->shard_steals();
+  if (steal_stats_source_) steal_stats_source_(stats_);
   std::uint64_t futex_waits = control_->futex_waits();
   std::uint64_t futex_wakes = control_->futex_wakes();
   for (const auto& loc : locations_) {

@@ -28,6 +28,7 @@
 #include "runtime/control_plane.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/location.hpp"
+#include "runtime/steal_executor.hpp"
 #include "topo/shard.hpp"
 #include "topo/topology.hpp"
 #include "treematch/treematch.hpp"
@@ -148,6 +149,14 @@ struct ProgramOptions {
   /// Per-task iterations between divergence checks; 0 = follow
   /// ORWL_REPLACE_INTERVAL (default 16).
   std::size_t replace_interval = 0;
+
+  /// Work-stealing policy of the dynamic-work executor behind
+  /// orwl::Task::for_each (ORWL_STEAL: off|node|all, default all).
+  StealMode steal = StealMode::FromEnv;
+
+  /// Fruitless victim sweeps before an executor worker parks; 0 =
+  /// follow ORWL_STEAL_SPIN (default 64).
+  std::size_t steal_spin = 0;
 };
 
 struct ProgramStats {
@@ -206,6 +215,24 @@ struct ProgramStats {
   std::uint64_t futex_waits = 0;
   /// Futex wake calls issued by granters and event posters.
   std::uint64_t futex_wakes = 0;
+  /// Arena allocations served from a thread-local magazine, no mutex
+  /// (0 when ORWL_ARENA=off or no thread registered a magazine).
+  std::uint64_t arena_magazine_hits = 0;
+
+  // ---- work-stealing executor (ORWL_STEAL) -------------------------------
+  /// Items executed by the for_each steal executor (workers + lenders).
+  std::uint64_t steal_executed = 0;
+  /// Steals served by a victim on the thief's own NUMA node.
+  std::uint64_t steal_local = 0;
+  /// Steals that crossed NUMA nodes (victim order puts these last).
+  std::uint64_t steal_remote = 0;
+  /// Items executed by lock-blocked threads lending their PU.
+  std::uint64_t steal_lent = 0;
+  /// Executor worker sleeps after an exhausted spin budget.
+  std::uint64_t steal_parks = 0;
+  /// Control-plane event batches an idle shard stole from a hot sibling
+  /// before falling back to sleeping.
+  std::uint64_t shard_steals = 0;
 };
 
 class Program {
@@ -262,6 +289,20 @@ class Program {
   bool scheduled() const noexcept { return scheduled_; }
 
   // ---- online re-placement (the measured-matrix feedback loop) ------------
+
+  // ---- work stealing (the for_each executor) ------------------------------
+
+  /// Resolved steal policy and spin budget (options/env, fixed at
+  /// construction); the orwl facade builds its executor from these.
+  StealMode steal_mode() const noexcept { return steal_mode_; }
+  std::size_t steal_spin() const noexcept { return steal_spin_; }
+
+  /// Install the hook run() uses to fold executor counters into
+  /// stats() after the tasks join (set once by the facade when a
+  /// program first uses for_each; not thread-safe against itself).
+  void set_steal_stats_source(std::function<void(ProgramStats&)> fn) {
+    steal_stats_source_ = std::move(fn);
+  }
 
   /// The resolved re-placement policy (options/env, fixed at
   /// construction).
@@ -345,6 +386,9 @@ class Program {
 
   const tm::CommMatrix& comm_matrix() const;
   const tm::Placement& placement() const;
+  /// Whether affinity_compute() has produced a placement (placement()
+  /// throws until then).
+  bool have_placement() const noexcept { return have_placement_; }
   const ProgramStats& stats() const noexcept { return stats_; }
 
  private:
@@ -492,6 +536,9 @@ class Program {
   double replace_threshold_ = 0.25;
   double replace_decay_ = 0.5;
   std::size_t replace_interval_ = 16;
+  StealMode steal_mode_ = StealMode::All;
+  std::size_t steal_spin_ = 64;
+  std::function<void(ProgramStats&)> steal_stats_source_;
   std::unique_ptr<CommMeter> meter_;
   tm::CommMatrix measured_;
   tm::CommMatrix placement_matrix_;

@@ -6,6 +6,7 @@
 
 #include "runtime/control_plane.hpp"
 #include "runtime/futex.hpp"
+#include "runtime/steal_executor.hpp"
 
 namespace orwl::rt {
 
@@ -197,6 +198,18 @@ void RequestQueue::acquire_slow(Ticket t) {
       throw std::runtime_error("RequestQueue::acquire: unknown ticket");
     }
     if (s->word.load(std::memory_order_relaxed) == pack(t, kGranted)) {
+      return;
+    }
+  }
+  // Blocked on the lock with a steal session live: lend this PU to the
+  // executor instead of parking it. lend() runs stolen items until the
+  // grant lands (the give-up predicate below), the session quiesces, or
+  // the caller is not lendable (nested block, ORWL_STEAL=off).
+  if (StealExecutor* ex = StealExecutor::current()) {
+    ex->lend([s, t] {
+      return s->word.load(std::memory_order_acquire) == pack(t, kGranted);
+    });
+    if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
       return;
     }
   }

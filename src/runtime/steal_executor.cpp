@@ -1,0 +1,409 @@
+#include "runtime/steal_executor.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/futex.hpp"
+#include "support/env.hpp"
+
+namespace orwl::rt {
+
+namespace {
+
+/// Process-wide lending target (the executor of the active session).
+std::atomic<StealExecutor*> g_current{nullptr};
+
+/// Reentrancy guard: a lent item that blocks on a lock parks normally
+/// instead of lending again (a nested loan would stack loans on the
+/// lender's stack with no bound).
+thread_local bool tl_lending = false;
+
+/// Set while a thread is inside run_worker, so a worker blocked on a
+/// lock inside an item body lends through its own deque and victim
+/// order instead of the anonymous lender path.
+thread_local StealExecutor::WorkerContext* tl_worker_ctx = nullptr;
+
+}  // namespace
+
+const char* to_string(StealMode m) noexcept {
+  switch (m) {
+    case StealMode::Off:
+      return "off";
+    case StealMode::Node:
+      return "node";
+    case StealMode::All:
+      return "all";
+    case StealMode::FromEnv:
+      return "fromenv";
+  }
+  return "?";
+}
+
+StealMode resolve_steal_mode(StealMode from_options) {
+  if (from_options != StealMode::FromEnv) return from_options;
+  const auto v = support::env_string(kStealEnvVar);
+  if (v.has_value()) {
+    if (support::iequals(*v, "off")) return StealMode::Off;
+    if (support::iequals(*v, "node")) return StealMode::Node;
+  }
+  return StealMode::All;
+}
+
+std::size_t resolve_steal_spin(std::size_t from_options) {
+  if (from_options != 0) return from_options;
+  const long env = support::env_long(kStealSpinEnvVar, -1);
+  return env > 0 ? static_cast<std::size_t>(env) : 64;
+}
+
+void StealExecutor::WorkerContext::push(std::uint64_t item) {
+  if (deque_ != nullptr && deque_->push(item)) {
+    ex_->notify_work();
+    return;
+  }
+  // Full ring (or an anonymous lender): keep the item thread-local; the
+  // run loop drains overflow before popping or stealing anything else.
+  overflow_.push_back(item);
+}
+
+StealExecutor::StealExecutor(const topo::Topology& t,
+                             std::vector<WorkerSpec> workers, Config cfg)
+    : cfg_(cfg), use_futex_(futex_enabled_from_env()) {
+  if (workers.empty()) {
+    throw std::invalid_argument("StealExecutor: no workers");
+  }
+  if (cfg_.mode == StealMode::FromEnv) {
+    throw std::invalid_argument(
+        "StealExecutor: mode must be resolved before construction");
+  }
+
+  const int numa_depth =
+      t.empty() ? -1 : t.depth_of_type(topo::ObjType::NumaNode);
+  const auto node_of_pu = [&](int pu) {
+    if (numa_depth < 0) return 0;
+    const topo::Object* leaf = t.pu_at(pu);
+    const topo::Object* node =
+        leaf ? leaf->ancestor_of_type(topo::ObjType::NumaNode) : nullptr;
+    return node ? node->logical_index : 0;
+  };
+  std::size_t num_nodes = 1;
+  if (numa_depth >= 0) num_nodes = t.at_depth(numa_depth).size();
+  node_active_ = std::vector<NodeCounter>(num_nodes);
+
+  // Per-worker state: deque slots from the worker's shard arena.
+  state_.reserve(workers.size());
+  std::vector<std::vector<std::uint32_t>> workers_on_pu(
+      t.empty() ? 1 : t.num_pus());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->pu = workers[w].pu;
+    ws->node = node_of_pu(ws->pu);
+    Arena& a = workers[w].arena != nullptr ? *workers[w].arena
+                                           : Arena::runtime_default();
+    ws->deque = arena_new<StealDeque>(a, a, cfg_.deque_capacity);
+    if (ws->pu >= 0 &&
+        static_cast<std::size_t>(ws->pu) < workers_on_pu.size()) {
+      workers_on_pu[static_cast<std::size_t>(ws->pu)].push_back(
+          static_cast<std::uint32_t>(w));
+    }
+    state_.push_back(std::move(ws));
+  }
+
+  // Victim order per worker: co-resident workers (same PU) first, then
+  // the PUs of the precomputed topology row, nearest first. The row's
+  // NUMA-local prefix (plus the co-residents) is the local prefix here.
+  const topo::VictimTable table =
+      t.empty() ? topo::VictimTable{} : topo::make_victim_table(t);
+  for (std::size_t w = 0; w < state_.size(); ++w) {
+    WorkerState& ws = *state_[w];
+    if (ws.pu >= 0 &&
+        static_cast<std::size_t>(ws.pu) < workers_on_pu.size()) {
+      for (std::uint32_t other :
+           workers_on_pu[static_cast<std::size_t>(ws.pu)]) {
+        if (other != w) ws.victims.push_back(other);
+      }
+    } else {
+      // PU outside the topology: every other worker, declaration order.
+      for (std::size_t v = 0; v < state_.size(); ++v) {
+        if (v != w) ws.victims.push_back(static_cast<std::uint32_t>(v));
+      }
+      ws.local_victims = ws.victims.size();
+      continue;
+    }
+    const auto row = table.row(static_cast<std::size_t>(ws.pu));
+    const std::size_t row_local =
+        table.local_count(static_cast<std::size_t>(ws.pu));
+    ws.local_victims = ws.victims.size();  // co-residents are local
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::uint32_t other :
+           workers_on_pu[static_cast<std::size_t>(row[i])]) {
+        ws.victims.push_back(other);
+        if (i < row_local) ++ws.local_victims;
+      }
+    }
+  }
+
+  lender_victims_.resize(state_.size());
+  for (std::size_t w = 0; w < state_.size(); ++w) {
+    lender_victims_[w] = static_cast<std::uint32_t>(w);
+  }
+}
+
+StealExecutor::~StealExecutor() {
+  end_session();
+  for (auto& ws : state_) arena_delete(ws->deque);
+}
+
+void StealExecutor::seed(std::size_t w, std::uint64_t item) {
+  WorkerState& ws = *state_.at(w);
+  if (!ws.deque->push(item)) ws.seed_spill.push_back(item);
+}
+
+void StealExecutor::begin_session(const ItemFn& fn) {
+  session_fn_.store(&fn, std::memory_order_release);
+  StealExecutor* expected = nullptr;
+  g_current.compare_exchange_strong(expected, this,
+                                    std::memory_order_acq_rel);
+}
+
+void StealExecutor::end_session() {
+  StealExecutor* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+  session_fn_.store(nullptr, std::memory_order_release);
+}
+
+StealExecutor* StealExecutor::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+void StealExecutor::activate(int node) noexcept {
+  auto& counter = node_active_[static_cast<std::size_t>(node)].active;
+  if (counter.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    root_active_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void StealExecutor::deactivate(int node) noexcept {
+  auto& counter = node_active_[static_cast<std::size_t>(node)].active;
+  if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (root_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Global quiescence: broadcast so parked workers run their exit
+      // check instead of sleeping out their timeout.
+      work_seq_.fetch_add(1, std::memory_order_release);
+      futex_wake(work_seq_, /*all=*/true);
+    }
+  }
+}
+
+void StealExecutor::notify_work() noexcept {
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    work_seq_.fetch_add(1, std::memory_order_release);
+    futex_wake(work_seq_, /*all=*/true);
+  }
+}
+
+bool StealExecutor::sweep(const std::vector<std::uint32_t>& order,
+                          std::size_t limit, std::uint64_t& item,
+                          int& victim_node) noexcept {
+  const std::size_t n = limit < order.size() ? limit : order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerState& v = *state_[order[i]];
+    if (v.deque->steal(item)) {
+      victim_node = v.node;
+      return true;
+    }
+  }
+  return false;
+}
+
+void StealExecutor::execute(const ItemFn& fn, std::uint64_t item,
+                            WorkerContext& ctx) {
+  fn(item, ctx);
+}
+
+void StealExecutor::run_worker(std::size_t w, const ItemFn& fn) {
+  WorkerState& ws = *state_.at(w);
+  WorkerContext ctx(*this, w, ws.deque);
+  ctx.overflow_ = std::move(ws.seed_spill);
+  ws.seed_spill.clear();
+  WorkerContext* const prev_ctx = tl_worker_ctx;
+  tl_worker_ctx = &ctx;
+
+  const std::size_t steal_limit = cfg_.mode == StealMode::All
+                                      ? ws.victims.size()
+                                      : cfg_.mode == StealMode::Node
+                                            ? ws.local_victims
+                                            : 0;
+  bool active = false;
+  std::size_t fruitless = 0;
+  for (;;) {
+    // Active from before an item is taken until a full sweep came up
+    // empty: a non-empty deque always has an active owner or thief, so
+    // root==0 really means "no work anywhere".
+    if (!active) {
+      activate(ws.node);
+      active = true;
+    }
+    std::uint64_t item = 0;
+    int victim_node = ws.node;
+    bool got = false;
+    bool stolen = false;
+    if (!ctx.overflow_.empty()) {
+      item = ctx.overflow_.back();
+      ctx.overflow_.pop_back();
+      got = true;
+    } else if (ws.deque->pop(item)) {
+      got = true;
+    } else if (sweep(ws.victims, steal_limit, item, victim_node)) {
+      got = true;
+      stolen = true;
+    }
+    if (got) {
+      fruitless = 0;
+      if (stolen) {
+        (victim_node == ws.node ? ws.local_steals : ws.remote_steals)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+      execute(fn, item, ctx);
+      ws.executed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    deactivate(ws.node);
+    active = false;
+    // Own deque is empty (the pop above failed and only the owner
+    // pushes), so quiescence means nothing anywhere can still need us.
+    if (quiescent()) break;
+    if (++fruitless >= cfg_.spin) {
+      ws.parks.fetch_add(1, std::memory_order_relaxed);
+      parked_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint32_t seq = work_seq_.load(std::memory_order_acquire);
+      if (!quiescent()) {
+        if (use_futex_) {
+          futex_wait(work_seq_, seq, /*timeout_ms=*/10);
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      parked_.fetch_sub(1, std::memory_order_acq_rel);
+      fruitless = 0;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  tl_worker_ctx = prev_ctx;
+}
+
+std::uint64_t StealExecutor::lend(const std::function<bool()>& give_up) {
+  if (tl_lending) return 0;
+  const ItemFn* const fn = session_fn_.load(std::memory_order_acquire);
+  if (fn == nullptr) return 0;
+
+  // Reuse the worker identity when the blocked thread *is* one of this
+  // executor's workers (a worker whose item body blocked on a lock):
+  // its deque, victim order and node stay valid on its own thread.
+  WorkerContext* const wctx =
+      (tl_worker_ctx != nullptr && tl_worker_ctx->ex_ == this)
+          ? tl_worker_ctx
+          : nullptr;
+  if (wctx == nullptr && cfg_.mode != StealMode::All) {
+    // Anonymous lenders have no topology position, so Node mode cannot
+    // scope their victims; only the full order is meaningful.
+    return 0;
+  }
+
+  tl_lending = true;
+  WorkerContext local(*this, state_.size(), nullptr);
+  WorkerContext& ctx = wctx != nullptr ? *wctx : local;
+  const int my_node = wctx != nullptr ? state_[ctx.worker_]->node : 0;
+
+  // Rotate the lender order per loan so concurrent lenders fan out.
+  std::vector<std::uint32_t> rotated;
+  const std::vector<std::uint32_t>* order = nullptr;
+  std::size_t limit = 0;
+  if (wctx != nullptr) {
+    const WorkerState& ws = *state_[ctx.worker_];
+    order = &ws.victims;
+    limit = cfg_.mode == StealMode::All
+                ? ws.victims.size()
+                : cfg_.mode == StealMode::Node ? ws.local_victims : 0;
+  } else {
+    const std::uint32_t rot =
+        lender_rotation_.fetch_add(1, std::memory_order_relaxed);
+    rotated.reserve(lender_victims_.size());
+    for (std::size_t i = 0; i < lender_victims_.size(); ++i) {
+      rotated.push_back(
+          lender_victims_[(i + rot) % lender_victims_.size()]);
+    }
+    order = &rotated;
+    limit = rotated.size();
+  }
+
+  std::uint64_t ran = 0;
+  bool active = false;
+  std::size_t fruitless = 0;
+  while (!give_up() && fruitless < cfg_.spin) {
+    if (session_fn_.load(std::memory_order_acquire) != fn) break;
+    if (!active) {
+      activate(my_node);
+      active = true;
+    }
+    std::uint64_t item = 0;
+    int victim_node = my_node;
+    bool got = false;
+    if (!ctx.overflow_.empty()) {
+      item = ctx.overflow_.back();
+      ctx.overflow_.pop_back();
+      got = true;
+    } else if (ctx.deque_ != nullptr && ctx.deque_->pop(item)) {
+      got = true;
+    } else if (sweep(*order, limit, item, victim_node)) {
+      got = true;
+    }
+    if (!got) {
+      deactivate(my_node);
+      active = false;
+      if (quiescent()) break;
+      ++fruitless;
+      std::this_thread::yield();
+      continue;
+    }
+    fruitless = 0;
+    execute(*fn, item, ctx);
+    ++ran;
+  }
+  // Items parked in a pure lender's overflow are invisible to everyone
+  // else — run them before handing the thread back to the lock path.
+  // (A worker's own context keeps its overflow; run_worker drains it.)
+  if (wctx == nullptr) {
+    while (!local.overflow_.empty()) {
+      if (!active) {
+        activate(my_node);
+        active = true;
+      }
+      const std::uint64_t item = local.overflow_.back();
+      local.overflow_.pop_back();
+      execute(*fn, item, local);
+      ++ran;
+    }
+  }
+  if (active) deactivate(my_node);
+  lend_executed_.fetch_add(ran, std::memory_order_relaxed);
+  tl_lending = false;
+  return ran;
+}
+
+StealExecutor::Stats StealExecutor::stats() const noexcept {
+  Stats s;
+  for (const auto& ws : state_) {
+    s.executed += ws->executed.load(std::memory_order_relaxed);
+    s.local_steals += ws->local_steals.load(std::memory_order_relaxed);
+    s.remote_steals += ws->remote_steals.load(std::memory_order_relaxed);
+    s.parks += ws->parks.load(std::memory_order_relaxed);
+  }
+  s.lend_executed = lend_executed_.load(std::memory_order_relaxed);
+  s.executed += s.lend_executed;
+  return s;
+}
+
+}  // namespace orwl::rt

@@ -1,0 +1,228 @@
+// rt::StealExecutor — topology-aware work stealing with hierarchical
+// termination detection.
+//
+// The runtime's task model is static: one thread per declared task. For
+// irregular work (graph frontiers, dynamic inserts) that leaves whole
+// sockets idle while one PU drains a hot worklist. The executor gives
+// every participating worker a bounded Chase–Lev deque (StealDeque,
+// arena-backed so the slots live on the worker's NUMA node) and a
+// precomputed locality-ordered victim list (topo::VictimTable):
+// hyperthread sibling first, then same-core, same-node, and remote-node
+// PUs last — so a steal is served from the closest non-empty deque.
+//
+// Termination is detected hierarchically, following the topology tree:
+// each worker contributes to a per-NUMA-node active counter; only a
+// node's 0<->1 transitions touch the root counter, so quiescence folds
+// up the tree instead of every worker hammering one global atomic.
+// The protocol keeps one invariant: a worker is *active* from before it
+// takes an item (own pop or steal) until its own deque and local
+// overflow are empty and a full victim sweep found nothing. A worker
+// exits only when the root count is zero AND its own deque is empty, so
+// no seeded or pushed item can be abandoned.
+//
+// Lock-blocked lending: a task thread blocked in RequestQueue's slow
+// path can lend its PU to the executor (lend()) instead of parking
+// immediately — it steals and runs items until its grant arrives or a
+// spin budget runs out. Items executed under lending must not acquire
+// ORWL locks themselves (a nested block would park on the lender's
+// stack and stall the loan; the acquire path refuses nested lending).
+//
+// Knobs (resolved by the program layer; the executor takes a Config):
+//   ORWL_STEAL      = off|node|all  — no stealing / same-NUMA-node
+//                     victims only / full victim order (default all).
+//   ORWL_STEAL_SPIN = N             — fruitless victim sweeps before a
+//                     worker parks (default 64).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/arena.hpp"
+#include "runtime/steal_deque.hpp"
+#include "topo/topology.hpp"
+#include "topo/victim.hpp"
+
+namespace orwl::rt {
+
+/// Steal policy (ORWL_STEAL / ProgramOptions::steal).
+enum class StealMode {
+  Off,      ///< no stealing: each worker drains only its own deque
+  Node,     ///< steal from same-NUMA-node victims only
+  All,      ///< full locality order, remote nodes last (default)
+  FromEnv,  ///< follow ORWL_STEAL
+};
+
+const char* to_string(StealMode m) noexcept;
+
+/// Environment override for the steal policy ("off", "node", "all").
+inline constexpr const char* kStealEnvVar = "ORWL_STEAL";
+
+/// Fruitless victim sweeps before a worker parks (default 64).
+inline constexpr const char* kStealSpinEnvVar = "ORWL_STEAL_SPIN";
+
+/// Resolve FromEnv against ORWL_STEAL (ProgramOptions beats env, so an
+/// explicit mode passes through unchanged). Default: All.
+StealMode resolve_steal_mode(StealMode from_options);
+
+/// Resolve a 0 spin budget against ORWL_STEAL_SPIN. Default: 64.
+std::size_t resolve_steal_spin(std::size_t from_options);
+
+class StealExecutor {
+ public:
+  class WorkerContext;
+
+  /// A work item's body: the 64-bit payload plus the executing worker's
+  /// context (for pushing follow-up items).
+  using ItemFn = std::function<void(std::uint64_t, WorkerContext&)>;
+
+  struct Config {
+    StealMode mode = StealMode::All;  ///< Off/Node/All (FromEnv invalid here)
+    std::size_t spin = 64;            ///< fruitless sweeps before parking
+    std::size_t deque_capacity = 8192;
+  };
+
+  /// One participating worker: the logical PU it runs on (drives the
+  /// victim order and the termination-tree node) and the arena its
+  /// deque slots come from (null = the process-wide default arena).
+  struct WorkerSpec {
+    int pu = 0;
+    Arena* arena = nullptr;
+  };
+
+  /// Context handed to every item body and owned by the executing
+  /// thread. push() never loses an item: it lands in the worker's deque
+  /// when there is room, else in a thread-local overflow drained before
+  /// the next pop/steal.
+  class WorkerContext {
+   public:
+    /// Push a follow-up work item (runnable by any worker).
+    void push(std::uint64_t item);
+
+    /// Index of the executing worker; workers() for lenders (threads
+    /// lending a blocked PU have no deque of their own).
+    std::size_t worker() const noexcept { return worker_; }
+
+   private:
+    friend class StealExecutor;
+    WorkerContext(StealExecutor& ex, std::size_t worker, StealDeque* deque)
+        : ex_(&ex), worker_(worker), deque_(deque) {}
+
+    StealExecutor* ex_;
+    std::size_t worker_;
+    StealDeque* deque_;  ///< null for lenders
+    std::vector<std::uint64_t> overflow_;
+  };
+
+  /// Counter snapshot (surfaced as ProgramStats::steal_* and bench JSON).
+  struct Stats {
+    std::uint64_t executed = 0;       ///< items run, by anyone
+    std::uint64_t local_steals = 0;   ///< steals from a same-node victim
+    std::uint64_t remote_steals = 0;  ///< steals across NUMA nodes
+    std::uint64_t lend_executed = 0;  ///< items run by lock-blocked lenders
+    std::uint64_t parks = 0;          ///< worker sleeps after a spin budget
+  };
+
+  /// \param t       Topology the victim order and termination tree are
+  ///                derived from; must outlive the executor.
+  /// \param workers One entry per participating worker (>= 1).
+  /// \param cfg     Resolved policy knobs (mode must not be FromEnv).
+  StealExecutor(const topo::Topology& t, std::vector<WorkerSpec> workers,
+                Config cfg);
+  ~StealExecutor();
+
+  StealExecutor(const StealExecutor&) = delete;
+  StealExecutor& operator=(const StealExecutor&) = delete;
+
+  std::size_t workers() const noexcept { return state_.size(); }
+  StealMode mode() const noexcept { return cfg_.mode; }
+
+  /// Pre-run seeding of worker `w`'s deque (not thread-safe against a
+  /// running session; call before the workers start).
+  void seed(std::size_t w, std::uint64_t item);
+
+  /// Publish `fn` as the session body and register this executor as the
+  /// process-wide lending target (StealExecutor::current). One session
+  /// at a time per process; a concurrent second session simply runs
+  /// without lenders. `fn` must outlive the session.
+  void begin_session(const ItemFn& fn);
+  void end_session();
+
+  /// Participate as worker `w` until global termination: drain own
+  /// work, steal by the victim order, park after `spin` fruitless
+  /// sweeps, exit when the termination tree is quiescent. Every worker
+  /// passed at construction must eventually call this once per session,
+  /// or seeded items on its deque may go unexecuted.
+  void run_worker(std::size_t w, const ItemFn& fn);
+
+  /// Lend the calling (lock-blocked) thread to the steal loop: run
+  /// items until `give_up` returns true, the spin budget is exhausted,
+  /// the session ends, or the executor goes quiescent.
+  /// \return Number of items executed by this loan.
+  std::uint64_t lend(const std::function<bool()>& give_up);
+
+  /// The executor of the process-wide active session (lending target);
+  /// null when no session is active.
+  static StealExecutor* current() noexcept;
+
+  Stats stats() const noexcept;
+
+ private:
+  struct alignas(64) WorkerState {
+    StealDeque* deque = nullptr;  ///< arena-backed, freed via header
+    int pu = 0;
+    int node = 0;  ///< termination-tree node (0 on NUMA-less machines)
+    std::vector<std::uint32_t> victims;     ///< worker indices, nearest first
+    std::size_t local_victims = 0;          ///< prefix on the same node
+    std::vector<std::uint64_t> seed_spill;  ///< seeds past deque capacity
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> local_steals{0};
+    std::atomic<std::uint64_t> remote_steals{0};
+    std::atomic<std::uint64_t> parks{0};
+  };
+
+  struct alignas(64) NodeCounter {
+    std::atomic<std::int64_t> active{0};
+  };
+
+  void activate(int node) noexcept;
+  void deactivate(int node) noexcept;
+  bool quiescent() const noexcept {
+    return root_active_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Wake parked workers after a push (cheap no-op when nobody parks).
+  void notify_work() noexcept;
+
+  /// One locality-ordered pass over `order`; on success the item and
+  /// its victim's node are written through the out-params.
+  bool sweep(const std::vector<std::uint32_t>& order, std::size_t limit,
+             std::uint64_t& item, int& victim_node) noexcept;
+
+  void execute(const ItemFn& fn, std::uint64_t item, WorkerContext& ctx);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<WorkerState>> state_;
+
+  std::vector<NodeCounter> node_active_;  ///< one per NUMA node (>= 1)
+  alignas(64) std::atomic<std::int64_t> root_active_{0};
+
+  alignas(64) std::atomic<std::uint32_t> work_seq_{0};
+  std::atomic<int> parked_{0};
+  const bool use_futex_;
+
+  /// Session state: the body lenders run, null between sessions.
+  std::atomic<const ItemFn*> session_fn_{nullptr};
+
+  std::atomic<std::uint64_t> lend_executed_{0};
+
+  /// Victim order used by lenders (all workers, round-robin rotation
+  /// applied per loan so concurrent lenders fan out).
+  std::vector<std::uint32_t> lender_victims_;
+  std::atomic<std::uint32_t> lender_rotation_{0};
+};
+
+}  // namespace orwl::rt

@@ -9,6 +9,10 @@ Usage:
   bench_compare.py --current BENCH_micro_replace.ci.json \
                    --min-recovery 0.9
 
+  bench_compare.py --current BENCH_micro_steal.ci.json \
+                   --min-ratio local_steals/remote_steals:1.0:skewed \
+                   --min-ratio speedup_vs_off:1.5:skewed
+
 The second form gates the re-placement engine instead of comparing two
 files: micro_replace reports a deterministic `recovery` counter (oracle
 placement cost / final placement cost, 1.0 = the engine recovered the
@@ -93,6 +97,59 @@ def zero_counter_gate(cur, counters):
     return rc
 
 
+def ratio_gate(cur, specs):
+    """Gate counter ratios: each spec is NUM[/DEN]:MIN[:FILTER].
+
+    For every benchmark whose name contains FILTER (all benchmarks when
+    no filter is given) and that reports the named counter(s), require
+    NUM >= MIN * DEN — phrased as a product so a zero denominator
+    (e.g. remote_steals == 0) passes a >= 1.0 locality gate instead of
+    dividing by zero. Like the zero gate, a spec that matches no
+    benchmark fails: the gate must notice when the annotation (or the
+    benchmark) disappears rather than silently passing.
+    """
+    rc = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            print(f"bench_compare: bad --min-ratio spec '{spec}' "
+                  "(want NUM[/DEN]:MIN[:FILTER]).", file=sys.stderr)
+            rc = 1
+            continue
+        counters, minimum, filt = (parts[0], float(parts[1]),
+                                   parts[2] if len(parts) == 3 else "")
+        num_name, _, den_name = counters.partition("/")
+        seen = 0
+        bad = []
+        for name, entry in sorted(cur.items()):
+            if filt and filt not in name:
+                continue
+            num = entry["raw"].get(num_name)
+            den = entry["raw"].get(den_name) if den_name else 1.0
+            if num is None or den is None:
+                continue
+            seen += 1
+            if float(num) < minimum * float(den):
+                bad.append((name, float(num), float(den)))
+        if seen == 0:
+            print(f"bench_compare: --min-ratio '{spec}' matched no "
+                  "benchmark in the current file; failing the gate.",
+                  file=sys.stderr)
+            rc = 1
+        elif bad:
+            print(f"bench_compare: ratio gate '{spec}' failed:",
+                  file=sys.stderr)
+            for name, num, den in bad:
+                want = (f">= {minimum:g} * {den_name} ({den:g})"
+                        if den_name else f">= {minimum:g}")
+                print(f"  {name}: {num_name} = {num:g}, required {want}",
+                      file=sys.stderr)
+            rc = 1
+        else:
+            print(f"ratio gate: '{spec}' OK across {seen} benchmark(s).")
+    return rc
+
+
 def throughput(base_entry, cur_entry):
     """Unit-consistent (baseline, current) throughput pair, or None.
 
@@ -160,17 +217,25 @@ def main():
                     help="fail when any benchmark in the current file "
                          "reports a non-zero value for this counter "
                          "(repeatable; e.g. arena_node_misses)")
+    ap.add_argument("--min-ratio", action="append", default=[],
+                    metavar="NUM[/DEN]:MIN[:FILTER]",
+                    help="fail when a matched benchmark's counter NUM "
+                         "falls below MIN (times counter DEN when given); "
+                         "FILTER restricts the gate to benchmarks whose "
+                         "name contains it (repeatable; e.g. "
+                         "local_steals/remote_steals:1.0:skewed)")
     args = ap.parse_args()
 
     cur = load_benchmarks(args.current)
 
     zero_rc = 0
-    if args.require_zero:
+    if args.require_zero or args.min_ratio:
         if cur is None:
             print("bench_compare: current results unreadable; failing.",
                   file=sys.stderr)
             return 1
         zero_rc = zero_counter_gate(cur, args.require_zero)
+        zero_rc = ratio_gate(cur, args.min_ratio) or zero_rc
 
     if args.min_recovery is not None:
         if cur is None:
@@ -182,10 +247,10 @@ def main():
                              args.off_benchmark) or zero_rc
 
     if not args.baseline:
-        if args.require_zero:
+        if args.require_zero or args.min_ratio:
             return zero_rc
-        ap.error("--baseline is required unless --min-recovery or "
-                 "--require-zero is used")
+        ap.error("--baseline is required unless --min-recovery, "
+                 "--require-zero, or --min-ratio is used")
     base = load_benchmarks(args.baseline)
     if base is None:
         print("bench_compare: no baseline snapshot; nothing to compare.")
