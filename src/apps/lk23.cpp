@@ -276,7 +276,8 @@ void wire_lk23_tasks(ProgramBuilder& builder, Lk23Problem& p,
 }  // namespace
 
 void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
-               std::size_t bx, rt::ProgramOptions prog_opts) {
+               std::size_t bx, rt::ProgramOptions prog_opts,
+               rt::ProgramStats* stats_out) {
   if (by == 0 || bx == 0 || by > p.n - 2 || bx > p.n - 2) {
     throw std::invalid_argument("lk23_orwl: bad block grid");
   }
@@ -288,6 +289,9 @@ void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t by,
                   });
   Program prog = builder.build();
   prog.run();
+  if (stats_out != nullptr) {
+    *stats_out = prog.stats();
+  }
 }
 
 std::size_t lk23_orwl_converged(Lk23Problem& p, double tol,

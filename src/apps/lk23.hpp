@@ -51,9 +51,11 @@ void lk23_sequential(Lk23Problem& p, std::size_t iters);
 /// ORWL decomposition: blocks_y x blocks_x iterative tasks exchanging
 /// halos through locations. Mutates p.za; the result is bit-identical to
 /// the sequential sweep. `prog_opts.locations_per_task` is overridden (4
-/// halo locations per task are required).
+/// halo locations per task are required). When `stats_out` is non-null it
+/// receives the runtime's ProgramStats snapshot after the run.
 void lk23_orwl(Lk23Problem& p, std::size_t iters, std::size_t blocks_y,
-               std::size_t blocks_x, rt::ProgramOptions prog_opts = {});
+               std::size_t blocks_x, rt::ProgramOptions prog_opts = {},
+               rt::ProgramStats* stats_out = nullptr);
 
 /// ORWL decomposition with a converged-predicate loop instead of a fixed
 /// sweep count: after each sweep the per-block residuals (sum of squared

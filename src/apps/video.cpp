@@ -210,7 +210,8 @@ namespace {
 /// Graph extraction (`matrix != nullptr` with opts.dry_run) therefore
 /// executes zero task bodies: build(), dependency_get(), done.
 void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
-                       VideoResult* result, tm::CommMatrix* matrix) {
+                       VideoResult* result, tm::CommMatrix* matrix,
+                       rt::ProgramStats* stats = nullptr) {
   const std::size_t w = params.width;
   const std::size_t h = params.height;
   const std::size_t frames = params.frames;
@@ -452,14 +453,18 @@ void run_video_program(const VideoParams& params, rt::ProgramOptions opts,
     result->frames = frames;
     result->seconds = secs;
   }
+  if (stats != nullptr) {
+    *stats = prog.stats();
+  }
 }
 
 }  // namespace
 
 VideoResult video_orwl(const VideoParams& params,
-                       rt::ProgramOptions prog_opts) {
+                       rt::ProgramOptions prog_opts,
+                       rt::ProgramStats* stats_out) {
   VideoResult res;
-  run_video_program(params, prog_opts, &res, nullptr);
+  run_video_program(params, prog_opts, &res, nullptr, stats_out);
   return res;
 }
 

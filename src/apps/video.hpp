@@ -77,9 +77,12 @@ struct VideoResult {
 /// Single-threaded reference implementation.
 VideoResult video_sequential(const VideoParams& params);
 
-/// The ORWL data-flow implementation described above.
+/// The ORWL data-flow implementation described above. When `stats_out`
+/// is non-null it receives the runtime's ProgramStats snapshot after the
+/// run (the server layer rolls these up per tenant).
 VideoResult video_orwl(const VideoParams& params,
-                       rt::ProgramOptions prog_opts = {});
+                       rt::ProgramOptions prog_opts = {},
+                       rt::ProgramStats* stats_out = nullptr);
 
 /// Fork-join baseline: per frame, each stage is a parallel-for over rows
 /// / bands with a barrier in between (the paper's OpenMP comparison:

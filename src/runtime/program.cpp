@@ -172,6 +172,14 @@ Program::Program(std::size_t num_tasks, ProgramOptions opts)
       locations_.back()->queue().set_control_plane(control_.get());
       locations_.back()->queue().set_acquire_timeout(
           opts_.acquire_timeout_ms);
+      // Identity for lock-protocol diagnostics: the acquire-timeout
+      // guard names the exact location (and tenant) that is stuck.
+      locations_.back()->queue().set_tag(
+          "location " + std::to_string(id) + " (owner task " +
+          std::to_string(t) + ", slot " + std::to_string(s) +
+          (opts_.tag.empty() ? std::string()
+                             : ", tenant '" + opts_.tag + "'") +
+          ")");
       // Placement-free default routing: owner round-robin. Replaced by
       // the topology-aware routing once a placement exists.
       locations_.back()->queue().set_control_shard(

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -157,6 +158,12 @@ struct ProgramOptions {
   /// Fruitless victim sweeps before an executor worker parks; 0 =
   /// follow ORWL_STEAL_SPIN (default 64).
   std::size_t steal_spin = 0;
+
+  /// Tenant tag carried into lock-protocol diagnostics: every location
+  /// queue's acquire-timeout error names its location, owner task, slot
+  /// and — when set — this tag, so a stuck program on a multi-tenant
+  /// server is attributable without a debugger. Empty = untenanted.
+  std::string tag;
 };
 
 struct ProgramStats {

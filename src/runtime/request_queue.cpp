@@ -3,6 +3,7 @@
 #include <chrono>
 #include <new>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/control_plane.hpp"
 #include "runtime/futex.hpp"
@@ -186,6 +187,15 @@ void RequestQueue::acquire(Ticket t) {
   acquire_slow(t);
 }
 
+void RequestQueue::throw_acquire_timeout(Ticket t) const {
+  std::string msg = "RequestQueue::acquire: ticket " + std::to_string(t) +
+                    " on " + (tag_.empty() ? "untagged queue" : tag_) +
+                    " timed out after " + std::to_string(timeout_ms_) +
+                    " ms waiting for grant (likely a deadlocked access "
+                    "protocol)";
+  throw std::runtime_error(msg);
+}
+
 void RequestQueue::acquire_slow(Ticket t) {
   Slot* s = nullptr;
   {
@@ -257,9 +267,7 @@ void RequestQueue::acquire_parked_futex(Ticket t, Slot* s) {
         return;
       }
       if (std::chrono::steady_clock::now() >= deadline) {
-        throw std::runtime_error(
-            "RequestQueue::acquire: timed out waiting for grant (likely a "
-            "deadlocked access protocol)");
+        throw_acquire_timeout(t);
       }
     }
     // Spurious return, seq changed, or a wake for a recycled slot:
@@ -296,9 +304,7 @@ void RequestQueue::acquire_parked_condvar(Ticket t, Slot* s) {
       if (s->word.load(std::memory_order_acquire) == pack(t, kGranted)) {
         return;
       }
-      throw std::runtime_error(
-          "RequestQueue::acquire: timed out waiting for grant (likely a "
-          "deadlocked access protocol)");
+      throw_acquire_timeout(t);
     }
   }
 }

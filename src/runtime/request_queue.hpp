@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "runtime/arena.hpp"
@@ -118,6 +119,13 @@ class RequestQueue {
   /// Milliseconds after which acquire() throws (deadlock guard).
   /// 0 disables the guard. Not thread-safe; set before concurrent use.
   void set_acquire_timeout(std::uint64_t ms) noexcept { timeout_ms_ = ms; }
+
+  /// Human-readable identity of this queue, prefixed to every timeout /
+  /// protocol error ("location 7 (owner task 3, slot 1, tenant 'video')").
+  /// The Program composes it from the location's coordinates and the
+  /// owning tenant's tag. Not thread-safe; set before concurrent use.
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+  const std::string& tag() const noexcept { return tag_; }
 
   /// Install the hook run before each hand-off grant (grant-time data
   /// transfer). May be null (no hook). Not thread-safe; set before
@@ -228,6 +236,10 @@ class RequestQueue {
   void acquire_parked_condvar(Ticket t, Slot* s);
   void wake_parked(const std::vector<Slot*>& wake);
 
+  /// The deadlock-guard error, with enough context to find the stuck
+  /// protocol: queue tag (location + tenant), ticket, configured timeout.
+  [[noreturn]] void throw_acquire_timeout(Ticket t) const;
+
   /// Entry point used by control threads to perform the hand-off.
   void grant_from_control();
 
@@ -249,6 +261,7 @@ class RequestQueue {
   std::atomic<Arena*> arena_;  ///< allocation source (re-pointed on route)
   bool futex_;                 ///< futex vs condvar parking
   std::uint64_t timeout_ms_ = 120000;
+  std::string tag_;
   GrantHook* hook_ = nullptr;
   ControlPlane* control_ = nullptr;
   std::atomic<std::uint32_t> control_shard_{0};

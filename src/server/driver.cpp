@@ -1,0 +1,161 @@
+#include "server/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace orwl::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::vector<TraceEvent> make_open_loop_trace(
+    const std::vector<double>& rates_rps, double duration_ms,
+    std::uint64_t seed) {
+  if (rates_rps.empty()) {
+    throw std::invalid_argument("make_open_loop_trace: no lanes");
+  }
+  if (duration_ms <= 0) {
+    throw std::invalid_argument("make_open_loop_trace: duration <= 0");
+  }
+  std::vector<TraceEvent> trace;
+  for (std::size_t lane = 0; lane < rates_rps.size(); ++lane) {
+    const double rate = rates_rps[lane];
+    if (rate <= 0) {
+      throw std::invalid_argument("make_open_loop_trace: rate <= 0");
+    }
+    // Per-lane sub-stream so adding a lane never perturbs the others.
+    support::SplitMix64 rng(seed + 0x9e3779b97f4a7c15ULL * (lane + 1));
+    const double mean_gap_ms = 1000.0 / rate;
+    double at = 0;
+    for (;;) {
+      // Exponential inter-arrival: -ln(U) * mean, U in (0, 1].
+      const double u = 1.0 - rng.uniform();
+      at += -std::log(u) * mean_gap_ms;
+      if (at >= duration_ms) break;
+      trace.push_back(TraceEvent{at, lane});
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.at_ms < b.at_ms ||
+                     (a.at_ms == b.at_ms && a.lane < b.lane);
+            });
+  return trace;
+}
+
+double percentile_ms(std::vector<double>& sample, double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least p of the sample at
+  // or below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sample.size())));
+  return sample[rank == 0 ? 0 : rank - 1];
+}
+
+ReplayResult replay(Server& server, const std::vector<TenantId>& tenants,
+                    const std::vector<TraceEvent>& trace) {
+  for (const TraceEvent& e : trace) {
+    if (e.lane >= tenants.size()) {
+      throw std::invalid_argument("replay: trace lane without a tenant");
+    }
+  }
+
+  const std::size_t lanes = tenants.size();
+  std::mutex mu;
+  std::vector<std::vector<double>> latencies(lanes);
+  std::vector<std::size_t> shed(lanes, 0);
+  double last_completion_ms = 0;
+
+  const auto t0 = Clock::now();
+  for (const TraceEvent& e : trace) {
+    // Open loop: wait for the scheduled arrival, never for completions.
+    for (;;) {
+      const double now = ms_since(t0);
+      if (now >= e.at_ms) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(e.at_ms - now));
+    }
+    const double scheduled = e.at_ms;
+    const std::size_t lane = e.lane;
+    const bool accepted = server.submit(
+        tenants[lane], [&, scheduled, lane] {
+          const double done = ms_since(t0);
+          std::lock_guard<std::mutex> lk(mu);
+          latencies[lane].push_back(done - scheduled);
+          last_completion_ms = std::max(last_completion_ms, done);
+        });
+    if (!accepted) {
+      std::lock_guard<std::mutex> lk(mu);
+      ++shed[lane];
+    }
+  }
+  server.drain_all();
+
+  ReplayResult res;
+  std::lock_guard<std::mutex> lk(mu);  // workers are quiesced; belt+braces
+  res.wall_ms = std::max(last_completion_ms, ms_since(t0));
+  const double trace_ms =
+      trace.empty() ? 0 : std::max(1e-9, trace.back().at_ms);
+  res.lanes.resize(lanes);
+  for (const TraceEvent& e : trace) ++res.lanes[e.lane].offered;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    LaneResult& r = res.lanes[lane];
+    r.completed = latencies[lane].size();
+    r.shed = shed[lane];
+    r.p50_ms = percentile_ms(latencies[lane], 0.50);
+    r.p99_ms = percentile_ms(latencies[lane], 0.99);
+    r.p999_ms = percentile_ms(latencies[lane], 0.999);
+    r.max_ms = latencies[lane].empty() ? 0 : latencies[lane].back();
+    r.offered_rps =
+        trace_ms > 0 ? r.offered * 1000.0 / trace_ms : 0;
+    r.completed_rps =
+        res.wall_ms > 0 ? r.completed * 1000.0 / res.wall_ms : 0;
+  }
+  return res;
+}
+
+double measure_saturation_rps(Server& server, TenantId tenant,
+                              std::size_t requests) {
+  if (requests == 0) return 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    while (!server.submit(tenant, [&] {
+      std::lock_guard<std::mutex> lk(mu);
+      ++completed;
+      cv.notify_one();
+    })) {
+      // Queue full: the server is already saturated; let it breathe.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return completed == requests; });
+  }
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return secs > 0 ? static_cast<double>(requests) / secs : 0;
+}
+
+}  // namespace orwl::server

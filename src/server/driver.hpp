@@ -1,0 +1,75 @@
+// Open-loop traffic driver for the multi-tenant server.
+//
+// Closed-loop load tests hide overload: a slow server makes the client
+// wait, which throttles the offered load and flatters the latency
+// numbers (coordinated omission). This driver is open-loop: a request
+// trace with absolute arrival times is generated up front (deterministic
+// exponential inter-arrivals per lane, merged), and replay submits each
+// request at its scheduled time whether or not the previous one came
+// back. Latency is measured from the *scheduled arrival*, so queueing
+// delay under overload is charged to the server, not silently forgiven.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace orwl::server {
+
+/// One request of a trace. Times are milliseconds from replay start.
+struct TraceEvent {
+  double at_ms = 0;
+  std::size_t lane = 0;  ///< index into the lane->tenant table at replay
+};
+
+/// Build a deterministic open-loop trace: lane i fires Poisson arrivals
+/// at `rates_rps[i]` requests/second for `duration_ms`, all lanes merged
+/// and sorted by arrival time. Same (rates, duration, seed) => same
+/// trace, byte for byte.
+/// \throws std::invalid_argument on empty rates, a non-positive rate, or
+///         non-positive duration.
+std::vector<TraceEvent> make_open_loop_trace(
+    const std::vector<double>& rates_rps, double duration_ms,
+    std::uint64_t seed);
+
+/// Per-lane replay outcome.
+struct LaneResult {
+  std::size_t offered = 0;    ///< trace events for this lane
+  std::size_t completed = 0;  ///< handler runs that finished
+  std::size_t shed = 0;       ///< submits rejected (queue full / evicted)
+  double p50_ms = 0;          ///< latency percentiles over completed
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  double offered_rps = 0;     ///< offered / trace duration
+  double completed_rps = 0;   ///< completed / replay wall time
+};
+
+struct ReplayResult {
+  std::vector<LaneResult> lanes;  ///< one per lane, lane order
+  double wall_ms = 0;             ///< submit start -> last completion
+};
+
+/// Replay `trace` against the server: event e is submitted to
+/// `tenants[e.lane]` at time e.at_ms (sleeping between events), then the
+/// server is drained and per-lane latency percentiles are computed.
+/// Latency of a request = completion time - scheduled arrival time.
+/// \param tenants Lane -> tenant id table; every trace lane must index
+///                into it (std::invalid_argument otherwise).
+ReplayResult replay(Server& server, const std::vector<TenantId>& tenants,
+                    const std::vector<TraceEvent>& trace);
+
+/// Saturation throughput of one tenant: submit `requests` back-to-back
+/// (no pacing, re-submitting shed requests), drain, and report
+/// completions per second of wall time. The open-loop ceiling the SLO
+/// percentiles are read against.
+double measure_saturation_rps(Server& server, TenantId tenant,
+                              std::size_t requests);
+
+/// Percentile over a sample (p in [0, 1], nearest-rank); 0 on empty
+/// input. Sorts `sample` in place.
+double percentile_ms(std::vector<double>& sample, double p);
+
+}  // namespace orwl::server

@@ -1,0 +1,220 @@
+// Multi-tenant ORWL server: many concurrent ORWL programs on one machine.
+//
+// The paper places ONE program on the whole machine (Algorithm 1 assumes
+// it owns every PU). This layer extends the model to a long-running
+// harness that admits many programs (tenants) onto one host, carving the
+// topology between them with the same contiguous-subtree rule the
+// control-plane ShardMap uses: each tenant receives a run of whole free
+// subtrees (topo::carve_subtrees) materialized as a private sub-topology
+// (topo::subtopology), so Algorithm 1 runs unchanged inside the carve and
+// no two tenants ever share a PU, a control shard, or an arena node.
+//
+// Admission is all-or-nothing: when no contiguous run of whole free
+// subtrees covers the requested width, admit() rejects instead of
+// splintering the tenant across locality domains. Each tenant owns an
+// elastic pool of worker threads replaying requests against its handler;
+// the pool grows when the backlog outruns the workers and shrinks back
+// to its floor when traffic goes quiet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/program.hpp"
+#include "topo/cpuset.hpp"
+#include "topo/shard.hpp"
+#include "topo/topology.hpp"
+
+namespace orwl::server {
+
+/// Env knobs of the server defaults (each read only when the matching
+/// ServerOptions field is left at 0 — explicit options always win).
+inline constexpr const char* kMaxTenantsEnvVar = "ORWL_SERVER_MAX_TENANTS";
+inline constexpr const char* kQueueCapEnvVar = "ORWL_SERVER_QUEUE_CAP";
+inline constexpr const char* kGrowBacklogEnvVar = "ORWL_SERVER_GROW_BACKLOG";
+inline constexpr const char* kShrinkIdleEnvVar = "ORWL_SERVER_SHRINK_IDLE_MS";
+
+/// What a tenant's handler sees: its private slice of the machine. The
+/// pointers stay valid until the tenant is evicted (or the Server dies).
+struct TenantEnv {
+  /// The carved sub-topology (os indices preserved, so placements bind
+  /// to the host's real PUs when binding is on).
+  const topo::Topology* topology = nullptr;
+  /// OS indices of the PUs this tenant owns.
+  topo::CpuSet cpus;
+  /// The tenant's admission name (also its diagnostics tag).
+  std::string name;
+
+  /// Program options pre-composed for this tenant: the server's base
+  /// options with `topology`, `tag` and the acquire-timeout diagnostics
+  /// pointing at this tenant. Handlers pass this (possibly tweaked) to
+  /// ProgramBuilder / the apps entry points.
+  rt::ProgramOptions program_options() const { return opts_; }
+
+  rt::ProgramOptions opts_;  ///< filled by Server::admit
+};
+
+/// One request's worth of work: run the tenant's program once inside its
+/// carve-out and report the runtime counters (the server rolls them up
+/// per tenant). Handlers run on tenant worker threads and may run
+/// concurrently with themselves when the pool has grown.
+using Handler = std::function<rt::ProgramStats(const TenantEnv&)>;
+
+/// Admission request.
+struct TenantSpec {
+  std::string name;
+  /// PUs requested; the carve may be wider (whole subtrees only).
+  std::size_t width_pus = 1;
+  /// Elastic worker-pool bounds: the pool starts (and idles back down)
+  /// at min_workers and grows up to max_workers with the backlog.
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 2;
+  Handler handler;
+};
+
+struct ServerOptions {
+  /// Machine to carve. Null => detect the host (ORWL_TOPOLOGY honored).
+  const topo::Topology* topology = nullptr;
+
+  /// Bind tenant worker threads to their tenant's cpuset. Advisory:
+  /// fixture topologies name PUs the host does not have, so failures are
+  /// tolerated (same contract as topo::bind_current_thread).
+  bool bind_threads = false;
+
+  /// 0 => ORWL_SERVER_MAX_TENANTS (default 8).
+  std::size_t max_tenants = 0;
+  /// Per-tenant request-queue capacity; submits beyond it are shed.
+  /// 0 => ORWL_SERVER_QUEUE_CAP (default 256).
+  std::size_t queue_capacity = 0;
+  /// Grow the pool when queued > grow_backlog * workers.
+  /// 0 => ORWL_SERVER_GROW_BACKLOG (default 2).
+  std::size_t grow_backlog = 0;
+  /// A worker above the floor exits after this long without work.
+  /// 0 => ORWL_SERVER_SHRINK_IDLE_MS (default 50).
+  std::uint64_t shrink_idle_ms = 0;
+
+  /// Base program options every tenant starts from; the server overrides
+  /// topology (the carve) and tag (the tenant name) per tenant. Leave
+  /// bind_threads=false here when carving a fixture topology.
+  rt::ProgramOptions base;
+};
+
+using TenantId = std::size_t;
+
+/// Point-in-time tenant snapshot (counters monotone over its lifetime).
+struct TenantStats {
+  TenantId id = 0;
+  std::string name;
+  topo::CpuSet cpus;
+  std::size_t width_pus = 0;       ///< PUs actually carved (>= requested)
+  std::uint64_t submitted = 0;     ///< accepted into the queue
+  std::uint64_t completed = 0;     ///< handler runs finished OK
+  std::uint64_t shed = 0;          ///< rejected: queue at capacity
+  std::uint64_t failed = 0;        ///< handler runs that threw
+  std::size_t workers = 0;         ///< live pool size now
+  std::size_t peak_workers = 0;
+  std::uint64_t grow_events = 0;
+  std::uint64_t shrink_events = 0;
+  /// Sum of the ProgramStats of every completed run (SLO rollup).
+  rt::ProgramStats runtime;
+};
+
+/// Field-wise sum of two ProgramStats (booleans OR); the per-tenant
+/// rollup rule, exposed for tests and benches.
+void accumulate(rt::ProgramStats& into, const rt::ProgramStats& run);
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  /// Evicts every remaining tenant (completing queued work) and joins
+  /// all worker threads.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit a tenant: carve spec.width_pus PUs out of the free part of
+  /// the machine and start its worker pool.
+  /// \return The tenant id (never 0).
+  /// \throws std::invalid_argument on a malformed spec (empty name or
+  ///         handler, zero width, min_workers > max_workers).
+  /// \throws std::runtime_error when the server is full or no contiguous
+  ///         run of whole free subtrees covers the width.
+  TenantId admit(TenantSpec spec);
+
+  /// admit() that reports rejection as nullopt instead of throwing
+  /// (malformed specs still throw).
+  std::optional<TenantId> try_admit(TenantSpec spec);
+
+  /// Remove a tenant: stop admission of new requests, complete what is
+  /// already queued, join its workers, return its PUs to the free pool.
+  /// Unknown/already-evicted ids are a no-op (concurrent evictors race
+  /// benignly).
+  void evict(TenantId id);
+
+  /// Enqueue one request for the tenant. Open-loop friendly: returns
+  /// immediately; `done` (may be null) runs on the worker after the
+  /// handler finishes (success or failure).
+  /// \return false when the request was shed (queue at capacity) or the
+  ///         tenant is gone — the caller's loss counter, not an error.
+  bool submit(TenantId id, std::function<void()> done = nullptr);
+
+  /// Block until the tenant's queue is empty and no handler is running.
+  /// No-op for unknown ids.
+  void drain(TenantId id);
+  /// drain() every current tenant.
+  void drain_all();
+
+  /// Snapshot one tenant (throws std::out_of_range on unknown id) /
+  /// all tenants (admission order).
+  TenantStats stats(TenantId id) const;
+  std::vector<TenantStats> stats() const;
+
+  /// The tenant's carved PUs (throws std::out_of_range on unknown id).
+  topo::CpuSet tenant_cpus(TenantId id) const;
+  /// The tenant's private sub-topology (valid until eviction).
+  const topo::Topology& tenant_topology(TenantId id) const;
+
+  std::size_t num_tenants() const;
+  /// Union of all carved PUs right now.
+  topo::CpuSet taken() const;
+  /// The machine being carved.
+  const topo::Topology& topology() const { return *topo_; }
+
+  // Resolved option values (after env fallback) — test introspection.
+  std::size_t max_tenants() const noexcept { return max_tenants_; }
+  std::size_t queue_capacity() const noexcept { return queue_cap_; }
+  std::size_t grow_backlog() const noexcept { return grow_backlog_; }
+  std::uint64_t shrink_idle_ms() const noexcept { return shrink_idle_ms_; }
+
+ private:
+  struct Tenant;
+
+  std::shared_ptr<Tenant> find(TenantId id) const;
+  void worker_loop(const std::shared_ptr<Tenant>& t);
+  void spawn_worker_locked(const std::shared_ptr<Tenant>& t);
+  static void stop_and_join(const std::shared_ptr<Tenant>& t);
+  static void drain_tenant(const std::shared_ptr<Tenant>& t);
+  static TenantStats snapshot(const Tenant& t);
+
+  ServerOptions opts_;
+  topo::Topology owned_topo_;          ///< used when opts_.topology == null
+  const topo::Topology* topo_ = nullptr;
+  std::size_t max_tenants_ = 0;
+  std::size_t queue_cap_ = 0;
+  std::size_t grow_backlog_ = 0;
+  std::uint64_t shrink_idle_ms_ = 0;
+
+  mutable std::mutex mu_;              ///< guards tenants_/taken_/next_id_
+  std::map<TenantId, std::shared_ptr<Tenant>> tenants_;
+  topo::CpuSet taken_;
+  TenantId next_id_ = 1;
+};
+
+}  // namespace orwl::server

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "topo/cpuset.hpp"
 #include "topo/topology.hpp"
 
 namespace orwl::topo {
@@ -51,5 +54,51 @@ std::size_t recommended_shard_count(const Topology& t) noexcept;
 /// \param num_shards Desired shard count; clamped to [1, num_pus].
 /// \return The PU-to-shard partition.
 ShardMap make_shard_map(const Topology& t, std::size_t num_shards);
+
+/// One tenant-sized carve-out of a machine: the ShardMap partitioning
+/// rule generalized from "split everything into N shards" to "cut W PUs
+/// out of whatever is still free". The carved PUs are always the union
+/// of `num_objs` consecutive whole subtrees rooted at topology depth
+/// `depth` — the same contiguous-subtree shape a shard has, so a tenant
+/// never straddles a locality domain it does not fully own.
+struct Carveout {
+  /// OS indices of the carved PUs (the cpuset handed to the tenant).
+  CpuSet pus;
+  /// Depth of the carved subtree roots; -1 only in a default-constructed
+  /// (invalid) carve-out.
+  int depth = -1;
+  /// Logical index of the first carved root at `depth`.
+  std::size_t first_obj = 0;
+  /// Number of consecutive subtree roots carved.
+  std::size_t num_objs = 0;
+  /// PUs actually covered; >= the requested width (whole subtrees only).
+  std::size_t width = 0;
+};
+
+/// Carve `width` PUs out of the free part of `t` as a contiguous run of
+/// whole subtrees, disjoint from `taken`. The carve is made at the
+/// shallowest depth whose subtrees fit inside `width` (whole NUMA nodes
+/// before cores before PUs — maximal locality per tenant), descending to
+/// finer levels only when fragmentation leaves no coarse contiguous run.
+/// First-fit in left-to-right PU order, so repeated carves pack the
+/// machine front to back.
+/// \param t     The machine.
+/// \param width Requested PU count (> 0).
+/// \param taken PU os indices already owned by other tenants.
+/// \return The carve-out, or std::nullopt when no contiguous run of
+///         whole free subtrees covering `width` PUs exists.
+std::optional<Carveout> carve_subtrees(const Topology& t, std::size_t width,
+                                       const CpuSet& taken);
+
+/// Materialize the machine a carve-out sees: a deep copy of `t` keeping
+/// only the PUs in `pus` (matched by os index) and the ancestors above
+/// them. OS indices are preserved, so placements computed on the
+/// sub-topology bind to the host's real PUs.
+/// \param t    The full machine.
+/// \param pus  PU os indices to keep; must select at least one PU of `t`.
+/// \param name Display name of the sub-topology.
+/// \throws std::invalid_argument when no PU of `t` is selected.
+Topology subtopology(const Topology& t, const CpuSet& pus,
+                     std::string name);
 
 }  // namespace orwl::topo

@@ -193,6 +193,66 @@ TEST(Robustness, SectionOnUnscheduledHandleFailsCleanly) {
   EXPECT_NO_THROW(prog.run());
 }
 
+TEST(Robustness, AcquireTimeoutNamesLocationTicketAndTenant) {
+  // Regression: the deadlock guard used to fire with no context ("lock
+  // acquire timed out"), useless on a server running many tenants. The
+  // message must now identify the queue (location + owner coordinates),
+  // the stuck ticket and the tenant tag.
+  rt::ProgramOptions o = quiet();
+  o.acquire_timeout_ms = 200;
+  o.tag = "acme";
+  rt::Program prog(1, o);
+  prog.set_task_body([&](rt::TaskContext& ctx) {
+    ctx.scale(8);
+    rt::Handle held;
+    rt::Handle starved;
+    held.write_insert(ctx, ctx.my_location(), 0);
+    starved.write_insert(ctx, ctx.my_location(), 1);
+    ctx.schedule();
+    rt::Section s(held);
+    // A second writer on the same location can never be granted while
+    // the first section is open: the guard must fire, with context.
+    starved.acquire();
+  });
+  try {
+    prog.run();
+    FAIL() << "expected the acquire-timeout guard to fire";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ticket"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("location 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("owner task 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tenant 'acme'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("timed out after 200 ms"), std::string::npos) << msg;
+  }
+}
+
+TEST(Robustness, AcquireTimeoutOnUntaggedProgramStaysAnonymous) {
+  // No ProgramOptions::tag => the message names the location but no
+  // tenant (single-program runs must not grow a bogus "tenant ''").
+  rt::ProgramOptions o = quiet();
+  o.acquire_timeout_ms = 200;
+  rt::Program prog(1, o);
+  prog.set_task_body([&](rt::TaskContext& ctx) {
+    ctx.scale(8);
+    rt::Handle held;
+    rt::Handle starved;
+    held.write_insert(ctx, ctx.my_location(), 0);
+    starved.write_insert(ctx, ctx.my_location(), 1);
+    ctx.schedule();
+    rt::Section s(held);
+    starved.acquire();
+  });
+  try {
+    prog.run();
+    FAIL() << "expected the acquire-timeout guard to fire";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("location 0"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("tenant"), std::string::npos) << msg;
+  }
+}
+
 TEST(Robustness, DoubleInsertRejected) {
   rt::Program prog(2, quiet());
   prog.set_task_body([&](rt::TaskContext& ctx) {

@@ -13,6 +13,9 @@ Usage:
                    --min-ratio local_steals/remote_steals:1.0:skewed \
                    --min-ratio speedup_vs_off:1.5:skewed
 
+  bench_compare.py --current BENCH_micro_server.ci.json \
+                   --max-latency p99_ms:5000
+
 The second form gates the re-placement engine instead of comparing two
 files: micro_replace reports a deterministic `recovery` counter (oracle
 placement cost / final placement cost, 1.0 = the engine recovered the
@@ -150,6 +153,56 @@ def ratio_gate(cur, specs):
     return rc
 
 
+def latency_gate(cur, specs):
+    """Gate absolute latency counters: each spec is COUNTER:BOUND[:FILTER].
+
+    For every benchmark whose name contains FILTER (all benchmarks when
+    no filter is given) and that reports COUNTER, require
+    COUNTER <= BOUND — the SLO gate for the open-loop server bench
+    (e.g. p99_ms:5000). Like the other counter gates, a spec that
+    matches no benchmark fails: the gate must notice when the
+    annotation (or the benchmark) disappears rather than silently
+    passing.
+    """
+    rc = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            print(f"bench_compare: bad --max-latency spec '{spec}' "
+                  "(want COUNTER:BOUND[:FILTER]).", file=sys.stderr)
+            rc = 1
+            continue
+        counter, bound, filt = (parts[0], float(parts[1]),
+                                parts[2] if len(parts) == 3 else "")
+        seen = 0
+        bad = []
+        for name, entry in sorted(cur.items()):
+            if filt and filt not in name:
+                continue
+            value = entry["raw"].get(counter)
+            if value is None:
+                continue
+            seen += 1
+            if float(value) > bound:
+                bad.append((name, float(value)))
+        if seen == 0:
+            print(f"bench_compare: --max-latency '{spec}' matched no "
+                  "benchmark in the current file; failing the gate.",
+                  file=sys.stderr)
+            rc = 1
+        elif bad:
+            print(f"bench_compare: latency gate '{spec}' failed:",
+                  file=sys.stderr)
+            for name, value in bad:
+                print(f"  {name}: {counter} = {value:g} "
+                      f"(bound {bound:g})", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"latency gate: '{counter}' <= {bound:g} across "
+                  f"{seen} benchmark(s).")
+    return rc
+
+
 def throughput(base_entry, cur_entry):
     """Unit-consistent (baseline, current) throughput pair, or None.
 
@@ -224,18 +277,25 @@ def main():
                          "FILTER restricts the gate to benchmarks whose "
                          "name contains it (repeatable; e.g. "
                          "local_steals/remote_steals:1.0:skewed)")
+    ap.add_argument("--max-latency", action="append", default=[],
+                    metavar="COUNTER:BOUND[:FILTER]",
+                    help="fail when a matched benchmark's counter exceeds "
+                         "BOUND — the SLO gate for latency counters "
+                         "(repeatable; e.g. p99_ms:5000)")
     args = ap.parse_args()
 
     cur = load_benchmarks(args.current)
 
+    counter_gates = args.require_zero or args.min_ratio or args.max_latency
     zero_rc = 0
-    if args.require_zero or args.min_ratio:
+    if counter_gates:
         if cur is None:
             print("bench_compare: current results unreadable; failing.",
                   file=sys.stderr)
             return 1
         zero_rc = zero_counter_gate(cur, args.require_zero)
         zero_rc = ratio_gate(cur, args.min_ratio) or zero_rc
+        zero_rc = latency_gate(cur, args.max_latency) or zero_rc
 
     if args.min_recovery is not None:
         if cur is None:
@@ -247,10 +307,10 @@ def main():
                              args.off_benchmark) or zero_rc
 
     if not args.baseline:
-        if args.require_zero or args.min_ratio:
+        if counter_gates:
             return zero_rc
         ap.error("--baseline is required unless --min-recovery, "
-                 "--require-zero, or --min-ratio is used")
+                 "--require-zero, --min-ratio, or --max-latency is used")
     base = load_benchmarks(args.baseline)
     if base is None:
         print("bench_compare: no baseline snapshot; nothing to compare.")
