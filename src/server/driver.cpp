@@ -138,20 +138,36 @@ double measure_saturation_rps(Server& server, TenantId tenant,
   std::condition_variable cv;
   std::size_t completed = 0;
 
+  const auto done = [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    ++completed;
+    cv.notify_one();
+  };
+
   const auto t0 = Clock::now();
-  for (std::size_t i = 0; i < requests; ++i) {
-    while (!server.submit(tenant, [&] {
-      std::lock_guard<std::mutex> lk(mu);
-      ++completed;
-      cv.notify_one();
-    })) {
-      // Queue full: the server is already saturated; let it breathe.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  std::size_t accepted = 0;
+  while (accepted < requests) {
+    if (server.submit(tenant, done)) {
+      ++accepted;
+      continue;
     }
+    // submit() says false both for shed (queue full -- expected at
+    // saturation, retry after a breather) and for a missing tenant
+    // (never admitted, or evicted mid-measurement -- never recovers).
+    if (!server.has_tenant(tenant)) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  // Every accepted request completes even across an eviction (evict
+  // drains the queue and runs done callbacks before dropping the job),
+  // so waiting here keeps mu/cv/completed alive until the last one.
   {
     std::unique_lock<std::mutex> lk(mu);
-    cv.wait(lk, [&] { return completed == requests; });
+    cv.wait(lk, [&] { return completed == accepted; });
+  }
+  if (accepted < requests) {
+    throw std::runtime_error(
+        "measure_saturation_rps: tenant " + std::to_string(tenant) +
+        " is unknown or was evicted mid-measurement");
   }
   const double secs =
       std::chrono::duration<double>(Clock::now() - t0).count();

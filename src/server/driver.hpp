@@ -65,6 +65,9 @@ ReplayResult replay(Server& server, const std::vector<TenantId>& tenants,
 /// (no pacing, re-submitting shed requests), drain, and report
 /// completions per second of wall time. The open-loop ceiling the SLO
 /// percentiles are read against.
+/// \throws std::runtime_error when the tenant is unknown or is evicted
+///         mid-measurement (after waiting out the already-accepted
+///         requests, so no completion callback outlives the call).
 double measure_saturation_rps(Server& server, TenantId tenant,
                               std::size_t requests);
 

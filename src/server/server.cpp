@@ -63,7 +63,9 @@ struct Server::Tenant {
   std::condition_variable work_cv;  ///< workers wait for jobs / stop
   std::condition_variable idle_cv;  ///< drain waits for empty + !inflight
   std::deque<Job> queue;
-  std::vector<std::thread> threads;  ///< join handles (exited ones stay)
+  std::vector<std::thread> threads;  ///< join handles, slot-stable
+  std::vector<std::size_t> exited;   ///< slots whose worker shrank out,
+                                     ///< joined+reused on the next spawn
   std::size_t live_workers = 0;      ///< workers still in their loop
   std::size_t inflight = 0;
   bool stopping = false;
@@ -179,12 +181,17 @@ void Server::evict(TenantId id) {
     auto it = tenants_.find(id);
     if (it == tenants_.end()) return;
     t = it->second;
-    tenants_.erase(it);
-    taken_ = taken_ - t->carve.pus;
+    tenants_.erase(it);  // blocks new submits right away
   }
-  // Unreachable for new submits now; finish what was accepted.
+  // Finish what was accepted and join the workers while the PUs are
+  // still marked taken: freeing them first would let a concurrent
+  // admit() carve the same PUs under a tenant that is still running.
   drain_tenant(t);
   stop_and_join(t);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    taken_ = taken_ - t->carve.pus;
+  }
 }
 
 bool Server::submit(TenantId id, std::function<void()> done) {
@@ -273,18 +280,37 @@ topo::CpuSet Server::taken() const {
   return taken_;
 }
 
+bool Server::has_tenant(TenantId id) const { return find(id) != nullptr; }
+
 std::shared_ptr<Server::Tenant> Server::find(TenantId id) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = tenants_.find(id);
   return it == tenants_.end() ? nullptr : it->second;
 }
 
-void Server::spawn_worker_locked(const std::shared_ptr<Tenant>& t) {
-  ++t->live_workers;
-  t->threads.emplace_back([this, t] { worker_loop(t); });
+void Server::reap_exited_locked(Tenant& t) {
+  // Shrunk-out workers have already left their loop (they push their
+  // slot right before returning), so these joins only wait out the few
+  // instructions between unlocking t.mu and thread exit.
+  for (std::size_t slot : t.exited) {
+    if (slot < t.threads.size() && t.threads[slot].joinable()) {
+      t.threads[slot].join();
+    }
+  }
+  t.exited.clear();
 }
 
-void Server::worker_loop(const std::shared_ptr<Tenant>& t) {
+void Server::spawn_worker_locked(const std::shared_ptr<Tenant>& t) {
+  reap_exited_locked(*t);
+  ++t->live_workers;
+  std::size_t slot = 0;
+  while (slot < t->threads.size() && t->threads[slot].joinable()) ++slot;
+  if (slot == t->threads.size()) t->threads.emplace_back();
+  t->threads[slot] = std::thread([this, t, slot] { worker_loop(t, slot); });
+}
+
+void Server::worker_loop(const std::shared_ptr<Tenant>& t,
+                         std::size_t slot) {
   if (opts_.bind_threads) {
     topo::bind_current_thread(t->env.cpus);  // advisory (fixtures fail)
   }
@@ -301,6 +327,7 @@ void Server::worker_loop(const std::shared_ptr<Tenant>& t) {
               !t->stopping && t->live_workers > t->spec.min_workers) {
             --t->live_workers;
             ++t->shrink_events;
+            t->exited.push_back(slot);  // reaped on the next spawn
             t->idle_cv.notify_all();
             return;
           }
@@ -324,6 +351,16 @@ void Server::worker_loop(const std::shared_ptr<Tenant>& t) {
     } catch (...) {
       ok = false;  // counted below; a tenant bug must not kill the pool
     }
+    // The completion callback runs while the job still counts as
+    // inflight: drain() must not return while a done callback can still
+    // touch caller state (replay()'s latency vectors live on its stack).
+    if (job.done) {
+      try {
+        job.done();
+      } catch (...) {
+        // A throwing completion must not kill the pool either.
+      }
+    }
     {
       std::lock_guard<std::mutex> lk(t->mu);
       --t->inflight;
@@ -335,7 +372,6 @@ void Server::worker_loop(const std::shared_ptr<Tenant>& t) {
       }
       if (t->queue.empty() && t->inflight == 0) t->idle_cv.notify_all();
     }
-    if (job.done) job.done();
   }
 }
 
@@ -351,6 +387,7 @@ void Server::stop_and_join(const std::shared_ptr<Tenant>& t) {
     std::lock_guard<std::mutex> lk(t->mu);
     t->stopping = true;
     threads.swap(t->threads);  // no spawns after stopping
+    t->exited.clear();         // the swap owns every handle now
   }
   t->work_cv.notify_all();
   for (auto& th : threads) {
@@ -370,6 +407,7 @@ TenantStats Server::snapshot(const Tenant& t) {
   s.failed = t.failed;
   s.workers = t.live_workers;
   s.peak_workers = t.peak_workers;
+  s.thread_slots = t.threads.size();
   s.grow_events = t.grow_events;
   s.shrink_events = t.shrink_events;
   s.runtime = t.rollup;

@@ -120,6 +120,10 @@ struct TenantStats {
   std::uint64_t failed = 0;        ///< handler runs that threw
   std::size_t workers = 0;         ///< live pool size now
   std::size_t peak_workers = 0;
+  /// Thread handles the pool retains (live + not-yet-reaped). Shrunk-out
+  /// workers are joined and their slots reused on the next spawn, so
+  /// this stays bounded by peak_workers under grow/shrink churn.
+  std::size_t thread_slots = 0;
   std::uint64_t grow_events = 0;
   std::uint64_t shrink_events = 0;
   /// Sum of the ProgramStats of every completed run (SLO rollup).
@@ -171,6 +175,10 @@ class Server {
   /// drain() every current tenant.
   void drain_all();
 
+  /// Whether the tenant is currently admitted. Turns false as soon as
+  /// an evict() begins (its queued work may still be completing).
+  bool has_tenant(TenantId id) const;
+
   /// Snapshot one tenant (throws std::out_of_range on unknown id) /
   /// all tenants (admission order).
   TenantStats stats(TenantId id) const;
@@ -197,8 +205,9 @@ class Server {
   struct Tenant;
 
   std::shared_ptr<Tenant> find(TenantId id) const;
-  void worker_loop(const std::shared_ptr<Tenant>& t);
+  void worker_loop(const std::shared_ptr<Tenant>& t, std::size_t slot);
   void spawn_worker_locked(const std::shared_ptr<Tenant>& t);
+  static void reap_exited_locked(Tenant& t);
   static void stop_and_join(const std::shared_ptr<Tenant>& t);
   static void drain_tenant(const std::shared_ptr<Tenant>& t);
   static TenantStats snapshot(const Tenant& t);

@@ -362,6 +362,42 @@ TEST(ServerExecution, RollupAccumulatesProgramStats) {
   EXPECT_TRUE(st.runtime.affinity_applied);
 }
 
+TEST(ServerExecution, DrainWaitsForDoneCallbacks) {
+  // Regression: done callbacks used to run after the job left the
+  // inflight count, so drain() could return while a callback still
+  // touched caller state (use-after-scope for replay()'s stack-local
+  // latency vectors). The callback now runs while the job is inflight.
+  const topo::Topology t = topo::make_smp20e7();
+  Server server(on_fixture(&t));
+  std::atomic<std::uint64_t> runs{0};
+  TenantSpec s;
+  s.name = "drain-done";
+  s.width_pus = 8;
+  s.max_workers = 4;
+  s.handler = counting_handler(&runs);
+  const TenantId id = server.admit(std::move(s));
+
+  for (int round = 0; round < 25; ++round) {
+    std::mutex mu;
+    std::vector<int> sink;  // stack-local, dies at end of iteration
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(server.submit(id, [&mu, &sink, i] {
+        // Widen the race window the old ordering lost.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        std::lock_guard<std::mutex> lk(mu);
+        sink.push_back(i);
+      }));
+    }
+    server.drain(id);
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(sink.size(), static_cast<std::size_t>(n))
+        << "drain returned with done callbacks still pending";
+  }
+  // Stats observed after drain must include every request.
+  EXPECT_EQ(server.stats(id).completed, 200u);
+}
+
 // ------------------------------------------------ elastic workers ----
 
 TEST(ServerElastic, PoolGrowsWithBacklogAndShrinksWhenIdle) {
@@ -403,6 +439,42 @@ TEST(ServerElastic, PoolGrowsWithBacklogAndShrinksWhenIdle) {
   const TenantStats st = server.stats(id);
   EXPECT_EQ(st.workers, 1u);
   EXPECT_GE(st.shrink_events, 3u);
+}
+
+TEST(ServerElastic, ChurnReapsShrunkWorkersAndReusesSlots) {
+  // Regression: shrunk-out workers left their std::thread handles in
+  // the pool forever; sustained grow/shrink churn accumulated unbounded
+  // exited-but-unjoined handles. Slots are now reaped and reused on the
+  // next spawn, so the handle count stays bounded by the pool maximum.
+  const topo::Topology t = topo::make_smp20e7();
+  ServerOptions o = on_fixture(&t);
+  o.grow_backlog = 1;
+  o.shrink_idle_ms = 5;
+  Server server(o);
+  std::atomic<std::uint64_t> runs{0};
+  TenantSpec s;
+  s.name = "churny";
+  s.width_pus = 8;
+  s.min_workers = 1;
+  s.max_workers = 4;
+  s.handler = counting_handler(&runs, std::chrono::microseconds(500));
+  const TenantId id = server.admit(std::move(s));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 12; ++i) ASSERT_TRUE(server.submit(id));
+    server.drain(id);
+    while (server.stats(id).workers > 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(server.stats(id).workers, 1u) << "round " << round;
+  }
+  const TenantStats st = server.stats(id);
+  EXPECT_GE(st.shrink_events, 6u) << "churn did not exercise shrink";
+  EXPECT_LE(st.thread_slots, st.peak_workers)
+      << "exited worker handles are accumulating instead of being reaped";
 }
 
 // ------------------------------------------------- clean teardown ----
@@ -460,6 +532,50 @@ TEST(ServerTeardown, EvictJoinsWorkersAndKeepsOthersRunning) {
   ASSERT_TRUE(server.submit(idb));
   server.drain(idb);
   EXPECT_EQ(b_runs.load(), 1u);
+}
+
+TEST(ServerTeardown, EvictFreesPusOnlyAfterWorkersFinish) {
+  // Regression: evict() used to return the PUs to the free set before
+  // draining, so a concurrent admit() could carve the same PUs while the
+  // evicted tenant's workers were still running — transiently breaking
+  // the no-shared-PU invariant. The PUs must stay taken until the
+  // workers are drained and joined.
+  const topo::Topology t = topo::make_fig2_machine();
+  Server server(on_fixture(&t));
+  GatedHandler gate;
+  TenantSpec whole;
+  whole.name = "whole";
+  whole.width_pus = t.num_pus();
+  whole.handler = gate.handler();
+  const TenantId id = server.admit(std::move(whole));
+  ASSERT_TRUE(server.submit(id));  // keeps a worker busy until release()
+
+  std::thread evictor([&] { server.evict(id); });
+  // evict() unlists the tenant immediately, then blocks draining the
+  // gated job. Wait for the unlisting so the race window is open.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.has_tenant(id) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(server.has_tenant(id));
+
+  // Mid-eviction the carve-out must still be owned: a whole-machine
+  // admission has to fail until the evicted tenant's workers are done.
+  std::atomic<std::uint64_t> runs{0};
+  TenantSpec intruder;
+  intruder.name = "intruder";
+  intruder.width_pus = t.num_pus();
+  intruder.handler = counting_handler(&runs);
+  EXPECT_FALSE(server.try_admit(intruder).has_value())
+      << "evict freed the PUs while its workers were still running";
+  EXPECT_FALSE(server.taken().empty());
+
+  gate.release();
+  evictor.join();
+  EXPECT_TRUE(server.taken().empty());
+  EXPECT_TRUE(server.try_admit(std::move(intruder)).has_value());
 }
 
 // ------------------------------------------------ open-loop driver ----
@@ -553,6 +669,26 @@ TEST(DriverReplay, SaturationThroughputIsPositive) {
   const double rps = measure_saturation_rps(server, id, 64);
   EXPECT_GT(rps, 0.0);
   EXPECT_EQ(runs.load(), 64u);
+}
+
+TEST(DriverReplay, SaturationFailsFastWhenTenantIsGone) {
+  // Regression: submit()==false used to be treated as "queue full" and
+  // retried forever, so an unknown or evicted tenant spun the
+  // measurement loop indefinitely. It must throw instead.
+  std::atomic<std::uint64_t> runs{0};
+  const topo::Topology t = topo::make_fig2_machine();
+  Server server(on_fixture(&t));
+  EXPECT_THROW(measure_saturation_rps(server, 777, 4), std::runtime_error);
+
+  TenantSpec s;
+  s.name = "ghost";
+  s.width_pus = 8;
+  s.handler = counting_handler(&runs);
+  const TenantId id = server.admit(std::move(s));
+  EXPECT_TRUE(server.has_tenant(id));
+  server.evict(id);
+  EXPECT_FALSE(server.has_tenant(id));
+  EXPECT_THROW(measure_saturation_rps(server, id, 4), std::runtime_error);
 }
 
 // ------------------------------------------------- real programs ----
