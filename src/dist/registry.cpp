@@ -1,0 +1,304 @@
+#include "dist/registry.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "dist/shm_transport.hpp"
+
+namespace orwl::dist {
+
+namespace {
+
+wire::Frame error_frame(std::uint64_t cookie, const std::string& msg) {
+  wire::Frame f;
+  f.type = wire::Type::Error;
+  f.location = cookie;
+  f.payload.resize(msg.size());
+  std::memcpy(f.payload.data(), msg.data(), msg.size());
+  return f;
+}
+
+}  // namespace
+
+Registry::~Registry() { stop(); }
+
+void Registry::export_location(const std::string& name, rt::Location* loc) {
+  std::unique_ptr<Export> ex;
+  Export* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (by_name_.count(name) != 0) {
+      throw std::invalid_argument("Registry: duplicate export \"" + name +
+                                  "\"");
+    }
+    ex = std::make_unique<Export>();
+    ex->name = name;
+    ex->loc = loc;
+    ex->id = exports_.size();
+    raw = ex.get();
+    by_name_[name] = ex->id;
+    exports_.push_back(std::move(ex));
+  }
+  raw->granter = std::thread([this, raw] { granter_loop(raw); });
+}
+
+void Registry::unexport(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return;
+  Export* ex = exports_[it->second].get();
+  std::lock_guard<std::mutex> elock(ex->mu);
+  ex->active = false;
+}
+
+void Registry::serve(std::unique_ptr<ServerTransport> transport) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (transport_) throw std::logic_error("Registry: already serving");
+    shm_ = dynamic_cast<ShmServerTransport*>(transport.get()) != nullptr;
+    transport_ = std::move(transport);
+    transport_raw_.store(transport_.get(), std::memory_order_release);
+  }
+  transport_->start({
+      [this](PeerId p, wire::Frame&& f) { on_frame(p, std::move(f)); },
+      [this](PeerId p) { on_disconnect(p); },
+  });
+}
+
+void Registry::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (transport_) transport_->stop();
+  std::vector<Export*> exports;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& e : exports_) exports.push_back(e.get());
+  }
+  for (Export* ex : exports) {
+    ex->cv.notify_all();
+    if (ex->granter.joinable()) ex->granter.join();
+  }
+}
+
+std::string Registry::address() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_ ? transport_->address() : std::string();
+}
+
+std::string Registry::url(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!transport_) return "";
+  return (shm_ ? "orwl+shm://" : "orwl://") + transport_->address() + "/" +
+         name;
+}
+
+Registry::Stats Registry::stats() const {
+  Stats s;
+  s.attaches = attaches_.load(std::memory_order_acquire);
+  s.proxy_requests = proxy_requests_.load(std::memory_order_acquire);
+  s.grants_sent = grants_sent_.load(std::memory_order_acquire);
+  s.releases = releases_.load(std::memory_order_acquire);
+  s.orphans_reclaimed = orphans_.load(std::memory_order_acquire);
+  s.rejected = rejected_.load(std::memory_order_acquire);
+  return s;
+}
+
+Registry::Export* Registry::find_export(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < exports_.size() ? exports_[id].get() : nullptr;
+}
+
+void Registry::on_frame(PeerId peer, wire::Frame&& f) {
+  switch (f.type) {
+    case wire::Type::Hello: handle_hello(peer, f); break;
+    case wire::Type::ReqRead:
+      handle_request(peer, f, rt::AccessMode::Read);
+      break;
+    case wire::Type::ReqWrite:
+      handle_request(peer, f, rt::AccessMode::Write);
+      break;
+    case wire::Type::Data: handle_data(peer, f); break;
+    case wire::Type::Release: handle_release(peer, f); break;
+    case wire::Type::Bye: on_disconnect(peer); break;
+    default: break;  // client-bound types from a client: ignore
+  }
+}
+
+void Registry::handle_hello(PeerId peer, const wire::Frame& f) {
+  const std::string name(reinterpret_cast<const char*>(f.payload.data()),
+                         f.payload.size());
+  Export* ex = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) ex = exports_[it->second].get();
+  }
+  if (ex != nullptr) {
+    std::lock_guard<std::mutex> elock(ex->mu);
+    if (!ex->active) ex = nullptr;
+  }
+  if (ex == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_release);
+    transport_->send(peer,
+                     error_frame(f.location, "no export \"" + name + "\""));
+    return;
+  }
+  attaches_.fetch_add(1, std::memory_order_release);
+  wire::Frame ack;
+  ack.type = wire::Type::HelloAck;
+  ack.location = f.location;  // echo the client's cookie
+  ack.ticket = ex->id;
+  ack.aux = ex->loc->size();
+  transport_->send(peer, ack);
+}
+
+void Registry::handle_request(PeerId peer, const wire::Frame& f,
+                              rt::AccessMode mode) {
+  Export* ex = find_export(f.location);
+  if (ex == nullptr) return;
+  std::lock_guard<std::mutex> elock(ex->mu);
+  // Enqueue and record under the export mutex: the proxy FIFO's order
+  // must equal the home queue's ticket order for this export.
+  const rt::Ticket t = ex->loc->queue().enqueue(mode);
+  ex->fifo.push_back({peer, f.ticket, t, mode, false});
+  proxy_requests_.fetch_add(1, std::memory_order_release);
+  ex->cv.notify_all();
+}
+
+void Registry::handle_data(PeerId peer, const wire::Frame& f) {
+  Export* ex = find_export(f.location);
+  if (ex == nullptr) return;
+  std::lock_guard<std::mutex> elock(ex->mu);
+  const auto it = ex->granted.find({peer, f.ticket});
+  if (it == ex->granted.end()) return;  // reclaimed meanwhile
+  if (it->second.mode != rt::AccessMode::Write) return;
+  rt::Location* loc = ex->loc;
+  if (loc->data() == nullptr) return;
+  const std::size_t n =
+      f.payload.size() < loc->size() ? f.payload.size() : loc->size();
+  std::memcpy(loc->data(), f.payload.data(), n);
+}
+
+void Registry::handle_release(PeerId peer, const wire::Frame& f) {
+  Export* ex = find_export(f.location);
+  if (ex == nullptr) return;
+  std::lock_guard<std::mutex> elock(ex->mu);
+  const auto it = ex->granted.find({peer, f.ticket});
+  if (it == ex->granted.end()) return;  // reclaimed meanwhile
+  const rt::Ticket old = it->second.ticket;
+  const rt::AccessMode mode = it->second.mode;
+  ex->granted.erase(it);
+  releases_.fetch_add(1, std::memory_order_release);
+  if ((f.flags & wire::kFlagReinsert) != 0) {
+    // The iterative handle2 cycle, run atomically in the home queue so
+    // the re-inserted request keeps the cyclic FIFO position.
+    const rt::Ticket next = ex->loc->queue().reinsert_and_release(old, mode);
+    ex->fifo.push_back({peer, f.aux, next, mode, false});
+    proxy_requests_.fetch_add(1, std::memory_order_release);
+    ex->cv.notify_all();
+  } else {
+    ex->loc->queue().release(old);
+  }
+}
+
+void Registry::on_disconnect(PeerId peer) {
+  std::vector<Export*> exports;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& e : exports_) exports.push_back(e.get());
+  }
+  for (Export* ex : exports) {
+    std::lock_guard<std::mutex> elock(ex->mu);
+    // Granted proxies: the client held the lock and is gone — release
+    // now (its unsent write-back is lost) so the FIFO moves on.
+    for (auto it = ex->granted.begin(); it != ex->granted.end();) {
+      if (it->first.first == peer) {
+        ex->loc->queue().release(it->second.ticket);
+        orphans_.fetch_add(1, std::memory_order_release);
+        it = ex->granted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Queued proxies: still waiting their turn; flag them so the granter
+    // releases instead of shipping a GRANT into the void.
+    for (Proxy& p : ex->fifo) {
+      if (p.peer == peer) p.orphaned = true;
+    }
+    ex->cv.notify_all();
+  }
+}
+
+void Registry::granter_loop(Export* ex) {
+  std::unique_lock<std::mutex> lk(ex->mu);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (ex->fifo.empty()) {
+      ex->cv.wait_for(lk, std::chrono::milliseconds(50));
+      continue;
+    }
+    const Proxy front = ex->fifo.front();
+    // Poll the lock-free grant word outside the mutex. The home queue is
+    // FIFO, so nothing behind `front` can be granted before it.
+    lk.unlock();
+    bool granted = false;
+    for (unsigned spin = 0; !stopping_.load(std::memory_order_acquire);) {
+      if (ex->loc->queue().granted(front.ticket)) {
+        granted = true;
+        break;
+      }
+      if (++spin < 64) {
+        // hot spin
+      } else if (spin < 256) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            spin < 4096 ? 50 : 500));
+      }
+    }
+    lk.lock();
+    if (!granted) continue;  // stopping
+    // Re-read the head: a disconnect may have orphaned it meanwhile.
+    if (ex->fifo.empty() || ex->fifo.front().ticket != front.ticket) continue;
+    const bool orphaned = ex->fifo.front().orphaned;
+    ex->fifo.pop_front();
+    if (orphaned) {
+      ex->loc->queue().release(front.ticket);
+      orphans_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    // Ship the grant with the buffer bytes. The proxy holds the lock at
+    // this point (writer: exclusively; reader: sharing with readers who
+    // only read), so the buffer is stable to copy.
+    wire::Frame g;
+    g.type = wire::Type::Grant;
+    g.location = ex->id;
+    g.ticket = front.reqid;
+    rt::Location* loc = ex->loc;
+    if (loc->data() != nullptr && loc->size() > 0) {
+      g.payload.assign(loc->data(), loc->data() + loc->size());
+    }
+    ex->granted[{front.peer, front.reqid}] = {front.ticket, front.mode};
+    // Counted before the frame leaves: the client can otherwise race its
+    // RELEASE back through the transport thread before this thread (just
+    // preempted post-send) gets to the counter, and a stats() reader
+    // would see a release whose grant was never counted.
+    grants_sent_.fetch_add(1, std::memory_order_release);
+    lk.unlock();
+    ServerTransport* t = transport_raw_.load(std::memory_order_acquire);
+    const bool sent = t != nullptr && t->send(front.peer, g);
+    lk.lock();
+    if (!sent) {
+      grants_sent_.fetch_sub(1, std::memory_order_release);
+      // Peer vanished between disconnect bookkeeping and our send: treat
+      // as an orphan if the release path has not already reclaimed it.
+      const auto it = ex->granted.find({front.peer, front.reqid});
+      if (it != ex->granted.end()) {
+        ex->loc->queue().release(it->second.ticket);
+        orphans_.fetch_add(1, std::memory_order_release);
+        ex->granted.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace orwl::dist

@@ -1,0 +1,132 @@
+// Home-side registry of exported locations.
+//
+// The registry names locations for remote attach ("orwl://host:port/name")
+// and runs the RemoteMirror half of the protocol: every REQ frame becomes
+// a proxy ticket in the location's real RequestQueue, so remote and local
+// requesters share one FIFO and the grant engine stays the single source
+// of truth for ordering. A per-export granter thread watches the oldest
+// outstanding proxy (lock-free queue.granted(), adaptive backoff — the
+// home queue grants strictly in ticket order, so polling the front
+// suffices and preserves exact FIFO across the wire) and ships GRANT
+// frames carrying the buffer bytes; RELEASE/DATA frames from the client
+// complete the cycle, with the reinsert flag running the iterative
+// handle2 re-insert atomically in the home queue.
+//
+// Orphan reclamation: when a client disconnects, its granted proxies are
+// released immediately (their write-back is lost — the client died) and
+// its queued proxies are flagged; the granter releases those the moment
+// the queue grants them, so the FIFO drains instead of deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "runtime/location.hpp"
+
+namespace orwl::dist {
+
+class Registry {
+ public:
+  struct Stats {
+    std::uint64_t attaches = 0;
+    std::uint64_t proxy_requests = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t orphans_reclaimed = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  Registry() = default;
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Export `loc` under `name`. The location must outlive the registry's
+  /// stop(). Exports may be added before or after serve(). Throws
+  /// std::invalid_argument on a duplicate name.
+  void export_location(const std::string& name, rt::Location* loc);
+
+  /// Reject future attaches to `name`; outstanding proxies drain
+  /// normally. Unknown names are a no-op (evict paths are idempotent).
+  void unexport(const std::string& name);
+
+  /// Start serving over `transport` (shm or tcp; exactly one serve per
+  /// registry).
+  void serve(std::unique_ptr<ServerTransport> transport);
+
+  /// Stop the transport and every granter thread. Idempotent.
+  void stop();
+
+  /// The transport's connectable address ("" before serve()).
+  std::string address() const;
+
+  /// Connect URL for an exported name: "orwl://host:port/name" (tcp) or
+  /// "orwl+shm://base/name" (shm).
+  std::string url(const std::string& name) const;
+
+  Stats stats() const;
+
+ private:
+  /// One not-yet-granted remote request (a proxy ticket in the FIFO).
+  struct Proxy {
+    PeerId peer = 0;
+    std::uint64_t reqid = 0;
+    rt::Ticket ticket = 0;
+    rt::AccessMode mode = rt::AccessMode::Read;
+    bool orphaned = false;
+  };
+
+  /// A proxy whose GRANT was shipped; awaiting RELEASE (or reclamation).
+  struct GrantedProxy {
+    rt::Ticket ticket = 0;
+    rt::AccessMode mode = rt::AccessMode::Read;
+  };
+
+  struct Export {
+    std::string name;
+    rt::Location* loc = nullptr;
+    std::uint64_t id = 0;
+    bool active = true;
+    std::mutex mu;  ///< orders queue ops against fifo bookkeeping
+    std::condition_variable cv;
+    std::deque<Proxy> fifo;
+    std::map<std::pair<PeerId, std::uint64_t>, GrantedProxy> granted;
+    std::thread granter;
+  };
+
+  void on_frame(PeerId peer, wire::Frame&& f);
+  void on_disconnect(PeerId peer);
+  void handle_hello(PeerId peer, const wire::Frame& f);
+  void handle_request(PeerId peer, const wire::Frame& f, rt::AccessMode mode);
+  void handle_data(PeerId peer, const wire::Frame& f);
+  void handle_release(PeerId peer, const wire::Frame& f);
+  void granter_loop(Export* ex);
+  Export* find_export(std::uint64_t id);
+
+  mutable std::mutex mu_;  ///< guards exports_/by_name_
+  std::vector<std::unique_ptr<Export>> exports_;
+  std::map<std::string, std::uint64_t> by_name_;
+  std::unique_ptr<ServerTransport> transport_;
+  /// Same pointer, published for granter threads that may start before
+  /// serve(): they read it lock-free on every send.
+  std::atomic<ServerTransport*> transport_raw_{nullptr};
+  bool shm_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> attaches_{0};
+  std::atomic<std::uint64_t> proxy_requests_{0};
+  std::atomic<std::uint64_t> grants_sent_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> orphans_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace orwl::dist

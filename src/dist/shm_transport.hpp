@@ -1,0 +1,170 @@
+// Shared-memory transport: cross-process ORWL locations on one host.
+//
+// The home process creates a small "listen" segment (/<base>). Each client
+// allocates a connection id from it, creates its own connection segment
+// (/<base>.c<id>) holding a pair of fixed-slot SPSC byte rings — one per
+// direction — and announces it by bumping the listen segment's doorbell.
+// The home side's listener thread maps the new segment and serves it.
+//
+// Rings use process-shared futex doorbells (the runtime's futex.hpp is
+// FUTEX_*_PRIVATE and cannot cross processes, so this file carries its own
+// shared-word helpers): the producer bumps a doorbell and wakes the
+// consumer; the consumer bumps a space bell when it frees room so a
+// blocked producer resumes. Frames larger than the ring stream through it
+// in chunks, so the fixed capacity (ORWL_DIST_SHM_SLOTS x 64 B) bounds
+// memory, not message size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace orwl::dist {
+
+/// Bytes per ring slot; ORWL_DIST_SHM_SLOTS counts these.
+inline constexpr std::size_t kShmSlotBytes = 64;
+
+/// Wait/wake on a 32-bit word that lives in memory shared across
+/// processes (plain FUTEX_WAIT/WAKE, not the PRIVATE variants used by the
+/// intra-process runtime). wait returns when *w != expect, on wake, or
+/// after timeout_ms.
+void shm_futex_wait(const std::atomic<std::uint32_t>* w, std::uint32_t expect,
+                    std::uint32_t timeout_ms);
+void shm_futex_wake_all(const std::atomic<std::uint32_t>* w);
+
+/// One direction of a connection: a fixed-capacity SPSC byte ring mapped
+/// into both processes. Exactly one producer and one consumer thread.
+/// Exposed for dist_test (wrap-around and doorbell coverage).
+class ShmRing {
+ public:
+  /// Bytes a ring with `capacity` payload bytes occupies in the segment.
+  static std::size_t bytes_for(std::size_t capacity) noexcept;
+
+  /// Placement-construct a ring over `mem` (the creating side calls this
+  /// exactly once; `capacity` is rounded up to a power of two).
+  static ShmRing* init(void* mem, std::size_t capacity) noexcept;
+
+  /// View an already-initialized ring at `mem` (the attaching side).
+  static ShmRing* at(void* mem) noexcept { return static_cast<ShmRing*>(mem); }
+
+  /// Append n bytes, blocking while the ring is full. Chunks internally,
+  /// so n may exceed the capacity. Returns false (possibly after a
+  /// partial write) when `abort` returns true while waiting for space.
+  bool push(const std::byte* p, std::size_t n,
+            const std::function<bool()>& abort);
+
+  /// Pop up to `max` bytes into `out`; blocks up to timeout_ms when the
+  /// ring is empty. Returns 0 on timeout or when the ring is closed and
+  /// drained (check closed() to tell the two apart).
+  std::size_t pop(std::byte* out, std::size_t max, std::uint32_t timeout_ms);
+
+  /// Producer-side orderly close: a drained consumer sees closed() and
+  /// treats it as end-of-stream.
+  void close() noexcept;
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire) != 0;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t readable() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ShmRing() = default;
+
+  // Consumer-written line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint32_t> space_bell_{0};
+  // Producer-written line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint32_t> doorbell_{0};
+  std::atomic<std::uint32_t> closed_{0};
+  alignas(64) std::uint64_t capacity_ = 0;
+  // Payload bytes follow the header in the same mapping.
+  std::byte* buf() noexcept { return reinterpret_cast<std::byte*>(this + 1); }
+};
+
+/// Home side of the shm transport. `base` names the listen segment; pass
+/// a process-unique string (the examples use "orwl-<pid>").
+class ShmServerTransport final : public ServerTransport {
+ public:
+  /// \param base       Segment base name (no leading '/').
+  /// \param ring_slots Capacity of each ring direction in 64-byte slots.
+  explicit ShmServerTransport(std::string base, std::size_t ring_slots = 1024);
+  ~ShmServerTransport() override;
+
+  void start(Handlers handlers) override;
+  void stop() override;
+  bool send(PeerId peer, const wire::Frame& f) override;
+  std::string address() const override { return base_; }
+
+ private:
+  struct Conn {
+    void* map = nullptr;
+    std::size_t map_bytes = 0;
+    ShmRing* c2s = nullptr;  ///< client -> server (we consume)
+    ShmRing* s2c = nullptr;  ///< server -> client (we produce)
+    std::thread reader;
+    std::mutex send_mu;
+    std::string seg_name;
+    std::atomic<bool> gone{false};
+    /// Senders inside send() past the conns_ lookup (they hold this
+    /// Conn raw); stop() drains it to zero before deleting.
+    std::atomic<int> active_sends{0};
+  };
+
+  void listen_loop();
+  void conn_loop(PeerId id, Conn* c);
+  bool try_accept(std::uint32_t id);
+
+  std::string base_;
+  std::size_t ring_slots_;
+  Handlers handlers_;
+  void* listen_map_ = nullptr;
+  std::size_t listen_bytes_ = 0;
+  std::thread listener_;
+  std::atomic<bool> running_{false};
+  std::mutex mu_;  ///< guards conns_
+  std::map<PeerId, std::unique_ptr<Conn>> conns_;
+};
+
+/// Client side: creates its connection segment under the server's base
+/// name and hands frames to/from the rings.
+class ShmClientTransport final : public ClientTransport {
+ public:
+  /// Connect to the server listening on `base`. Throws std::runtime_error
+  /// when the listen segment does not exist.
+  explicit ShmClientTransport(const std::string& base);
+  ~ShmClientTransport() override;
+
+  void start(std::function<void(wire::Frame&&)> on_frame,
+             std::function<void()> on_disconnect) override;
+  void stop() override;
+  bool send(const wire::Frame& f) override;
+
+ private:
+  void recv_loop();
+
+  std::string seg_name_;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  ShmRing* c2s_ = nullptr;  ///< we produce
+  ShmRing* s2c_ = nullptr;  ///< we consume
+  std::function<void(wire::Frame&&)> on_frame_;
+  std::function<void()> on_disconnect_;
+  std::thread reader_;
+  std::mutex send_mu_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace orwl::dist

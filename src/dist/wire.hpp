@@ -1,0 +1,92 @@
+// Wire protocol of the distributed ORWL transport layer.
+//
+// The grant engine's ticket life-cycle (request -> grant -> release, with
+// the iterative re-insert of orwl_handle2) is serialized into fixed-header
+// frames so a location's FIFO can be driven from another process (shm) or
+// another host (tcp). One frame = a 36-byte little-endian header plus an
+// optional payload (the location buffer travels home->client in GRANT and
+// client->home in DATA for the write-back).
+//
+// The header is explicit little-endian regardless of host byte order, so
+// a frame encoded on one host decodes bit-identically on any other — the
+// contract an RDMA-style transport needs as much as a socket does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace orwl::dist::wire {
+
+/// Frame discriminator. Values are wire ABI: append only, never renumber.
+enum class Type : std::uint8_t {
+  Hello = 1,  ///< client->home: attach to an export; payload = its name
+  HelloAck,   ///< home->client: location echoes the Hello cookie,
+              ///< ticket = export id, aux = location buffer size
+  ReqRead,    ///< client->home: enqueue a read; ticket = client reqid
+  ReqWrite,   ///< client->home: enqueue a write; ticket = client reqid
+  Grant,      ///< home->client: reqid granted; payload = buffer bytes
+  Release,    ///< client->home: release reqid; kFlagReinsert + aux = new
+              ///< reqid runs the iterative (handle2) cycle atomically
+  Data,       ///< client->home: write-back payload for a granted writer
+  Error,      ///< home->client: request failed; payload = message
+  Bye,        ///< either side: orderly disconnect
+};
+
+/// Human-readable frame-type name (diagnostics and tests).
+const char* to_string(Type t) noexcept;
+
+/// Release flag: atomically re-insert a request of the same mode (the
+/// orwl_handle2 cycle); aux carries the client's new reqid.
+inline constexpr std::uint16_t kFlagReinsert = 1u << 0;
+
+/// Bytes of the fixed header: magic(4) version(1) type(1) flags(2)
+/// location(8) ticket(8) aux(8) payload_len(4).
+inline constexpr std::size_t kHeaderBytes = 36;
+
+/// Wire magic ("ORWL") and protocol version.
+inline constexpr std::uint8_t kMagic[4] = {'O', 'R', 'W', 'L'};
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Upper bound on payload_len a decoder accepts (1 GiB): anything larger
+/// is a corrupt or hostile header, not a location buffer.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+/// One protocol message. `location` names the export (home-assigned id),
+/// `ticket` the client-side request id, `aux` is per-type extra state.
+struct Frame {
+  Type type = Type::Bye;
+  std::uint16_t flags = 0;
+  std::uint64_t location = 0;
+  std::uint64_t ticket = 0;
+  std::uint64_t aux = 0;
+  std::vector<std::byte> payload;
+
+  bool operator==(const Frame& o) const = default;
+};
+
+/// Append the encoded frame (header + payload) to `out`.
+void encode(const Frame& f, std::vector<std::byte>& out);
+
+/// Encoded size of a frame.
+inline std::size_t encoded_size(const Frame& f) noexcept {
+  return kHeaderBytes + f.payload.size();
+}
+
+enum class DecodeStatus : std::uint8_t {
+  Ok,        ///< one frame decoded; `consumed` bytes were eaten
+  NeedMore,  ///< prefix of a valid frame; feed more bytes, consumed == 0
+  Bad,       ///< malformed header (magic/version/length): drop the peer
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::NeedMore;
+  std::size_t consumed = 0;
+};
+
+/// Decode one frame from the front of [data, data+len). Truncated input
+/// is NeedMore (never Bad): stream decoders call this repeatedly as bytes
+/// arrive. On Ok, `out` holds the frame and `consumed` the bytes eaten.
+DecodeResult decode(const std::byte* data, std::size_t len, Frame& out);
+
+}  // namespace orwl::dist::wire

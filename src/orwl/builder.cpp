@@ -25,6 +25,27 @@ ProgramBuilder& ProgramBuilder::body(TaskBody fn) {
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::export_location(LocRef r, std::string name) {
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "ProgramBuilder::export_location: empty name");
+  }
+  if (r.task >= specs_.size()) {
+    throw std::out_of_range(
+        "ProgramBuilder::export_location: export names task " +
+        std::to_string(r.task) + " of " + std::to_string(specs_.size()));
+  }
+  for (const auto& [ref, seen] : exports_) {
+    if (seen == name) {
+      throw std::invalid_argument(
+          "ProgramBuilder::export_location: name \"" + name +
+          "\" exported twice");
+    }
+  }
+  exports_.emplace_back(r, std::move(name));
+  return *this;
+}
+
 Program ProgramBuilder::build() {
   if (built_) {
     throw std::logic_error("ProgramBuilder::build: already built");
@@ -48,6 +69,9 @@ Program ProgramBuilder::build() {
       }
       slots = std::max(slots, a.target.slot + 1);
     }
+  }
+  for (const auto& [ref, name] : exports_) {
+    slots = std::max(slots, ref.slot + 1);
   }
 
   // FIFO channels ride above the declared slot space: each channel gets
@@ -89,6 +113,7 @@ Program ProgramBuilder::build() {
 
   Program p(specs_.size(), opts_);
   p.declarative_ = true;
+  p.declared_exports_ = exports_;
 
   // Scale the owned locations first (sizes precede links, exactly like
   // the Listing 1 init phase). Dry-run programs record sizes only.

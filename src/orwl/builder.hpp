@@ -223,6 +223,14 @@ class ProgramBuilder {
   /// SPMD body used for every task without a TaskSpec::body override.
   ProgramBuilder& body(TaskBody fn);
 
+  /// Declare that the location at `r` is exported for remote attach
+  /// under `name`. The built program registers all declared exports with
+  /// a dist::Registry via Program::serve_exports(reg); remote processes
+  /// then attach through "orwl://host:port/name" and their guards join
+  /// the location's FIFO next to the local tasks'.
+  /// \throws std::invalid_argument on an empty name or a duplicate.
+  ProgramBuilder& export_location(LocRef r, std::string name);
+
   std::size_t num_tasks() const noexcept { return specs_.size(); }
 
   /// Materialize the declarative program: create the runtime, scale the
@@ -235,6 +243,7 @@ class ProgramBuilder {
  private:
   Options opts_;
   std::vector<TaskSpec> specs_;
+  std::vector<std::pair<LocRef, std::string>> exports_;
   TaskBody spmd_body_;
   bool built_ = false;
 };

@@ -1,17 +1,60 @@
 #include "orwl/program.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <string>
 
+#include "dist/registry.hpp"
+#include "dist/remote.hpp"
+
 namespace orwl {
+
+/// Client sessions created by remote(), keyed by endpoint so several
+/// names on one home share a connection.
+struct Program::RemoteState {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<dist::Client>> clients;
+};
 
 Program::Program(std::size_t num_tasks, Options opts)
     : rt_(std::make_unique<rt::Program>(num_tasks, opts)),
+      remote_(std::make_unique<RemoteState>()),
       links_(num_tasks),
       iterations_(num_tasks, 0),
       init_(num_tasks),
       bodies_(num_tasks) {}
+
+Program::Program(Program&&) noexcept = default;
+Program& Program::operator=(Program&&) noexcept = default;
+Program::~Program() = default;
+
+void Program::export_location(LocRef r, const std::string& name,
+                              dist::Registry& reg) {
+  reg.export_location(name, &location(r));
+}
+
+void Program::serve_exports(dist::Registry& reg) {
+  for (const auto& [ref, name] : declared_exports_) {
+    reg.export_location(name, &rt_->location(ref.task, ref.slot));
+  }
+}
+
+rt::Location& Program::remote(const std::string& url) {
+  const dist::Url u = dist::parse_url(url);
+  if (u.name.empty()) {
+    throw std::invalid_argument("Program::remote: URL \"" + url +
+                                "\" names no location (missing /name)");
+  }
+  const std::string endpoint =
+      u.mode == dist::DistMode::Shm
+          ? "shm:" + u.shm_base
+          : "tcp:" + u.host + ":" + std::to_string(u.port);
+  std::lock_guard<std::mutex> lock(remote_->mu);
+  auto& client = remote_->clients[endpoint];
+  if (client == nullptr) client = dist::Client::connect(u);
+  return client->attach(u.name);
+}
 
 void Program::set_task_body(TaskBody fn) {
   for (auto& b : bodies_) b = fn;
@@ -208,6 +251,10 @@ void Program::for_each_impl(TaskId task, rt::TaskContext& ctx,
     cfg.mode = rt_->steal_mode();
     cfg.spin = rt_->steal_spin();
     st.exec = std::make_unique<rt::StealExecutor>(topo, std::move(specs), cfg);
+    // Steal traffic feeds the same measured matrix as lock hand-offs:
+    // items flowing across nodes skew it and can trip ORWL_REPLACE
+    // (no-op when the replace policy keeps no meter).
+    st.exec->set_meter(rt_->comm_meter(), n);
     rt::StealExecutor* ex = st.exec.get();
     rt_->set_steal_stats_source([ex](rt::ProgramStats& ps) {
       const rt::StealExecutor::Stats s = ex->stats();

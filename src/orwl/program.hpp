@@ -36,6 +36,10 @@
 
 namespace orwl {
 
+namespace dist {
+class Registry;
+}
+
 class Task;
 class Program;
 class ProgramBuilder;
@@ -81,8 +85,9 @@ class Program {
   /// v1. Declarative programs are created through ProgramBuilder.
   explicit Program(std::size_t num_tasks, Options opts = {});
 
-  Program(Program&&) noexcept = default;
-  Program& operator=(Program&&) noexcept = default;
+  Program(Program&&) noexcept;
+  Program& operator=(Program&&) noexcept;
+  ~Program();
 
   /// Same body for every task (SPMD), or per task.
   void set_task_body(TaskBody fn);
@@ -131,6 +136,30 @@ class Program {
   /// does not (yet) type, and for tests that inspect runtime state.
   rt::Program& runtime() noexcept { return *rt_; }
   const rt::Program& runtime() const noexcept { return *rt_; }
+
+  // ---- distributed ORWL (src/dist) ----------------------------------------
+
+  /// Export the location at `r` under `name` in `reg`: remote processes
+  /// can then attach it via reg.url(name) and their guards join this
+  /// location's FIFO. The program must outlive reg.stop().
+  /// \throws std::invalid_argument on a duplicate name (Registry rule).
+  void export_location(LocRef r, const std::string& name,
+                       dist::Registry& reg);
+
+  /// Register every export declared on the builder
+  /// (ProgramBuilder::export_location) with `reg`. Call once per
+  /// registry, before or after reg.serve().
+  void serve_exports(dist::Registry& reg);
+
+  /// Attach to a remote location by URL — "orwl://host:port/name" (tcp)
+  /// or "orwl+shm://base/name" (shm). The client session is owned by the
+  /// program (one per endpoint, shared across names) and closed with it;
+  /// repeated calls with the same URL return the same location. The
+  /// returned location satisfies the full guard surface: pass it to
+  /// Task::read/write or a standalone rt::Handle.
+  /// \throws std::invalid_argument on a malformed URL or a missing /name;
+  ///         std::runtime_error when the home rejects or is unreachable.
+  rt::Location& remote(const std::string& url);
 
   // ---- FIFO channels (Sec. V-C), declared on the builder ------------------
 
@@ -240,7 +269,13 @@ class Program {
                      std::span<const std::uint64_t> seeds,
                      const ForEachBody& body);
 
+  /// Client sessions behind remote() (one per endpoint), heap-held so
+  /// the header needs no dist includes and Program stays movable.
+  struct RemoteState;
+
   std::unique_ptr<rt::Program> rt_;
+  std::unique_ptr<RemoteState> remote_;
+  std::vector<std::pair<LocRef, std::string>> declared_exports_;
   bool declarative_ = false;
   std::vector<std::vector<DeclaredLink>> links_;  // per task, build order
   std::vector<std::size_t> iterations_;           // per task, 0 undeclared
@@ -294,6 +329,28 @@ class Task {
   ReadLink<T> read(LocRef r, std::uint64_t priority) {
     rt::Handle2& h = make_handle();
     h.read_insert(*ctx_, prog_->location(r), priority);
+    return ReadLink<T>(h);
+  }
+
+  // ---- links to locations outside this program (distributed ORWL) ---------
+
+  /// Link to a location that is not in this program's task/slot grid —
+  /// typically a RemoteLocation from Program::remote(), whose home FIFO
+  /// lives in another process. The request enqueues at the tail
+  /// immediately (no schedule barrier: the home orders it globally), and
+  /// the iterative re-insert cycle runs over the wire like any other
+  /// guard cycle.
+  template <typename T>
+  WriteLink<T> write(rt::Location& l) {
+    rt::Handle2& h = make_handle();
+    h.insert_standalone(l, AccessMode::Write);
+    return WriteLink<T>(h);
+  }
+
+  template <typename T>
+  ReadLink<T> read(rt::Location& l) {
+    rt::Handle2& h = make_handle();
+    h.insert_standalone(l, AccessMode::Read);
     return ReadLink<T>(h);
   }
 

@@ -225,9 +225,16 @@ void Arena::take_back_blocks(std::uint32_t cls, void* const* blocks,
 
 bool Arena::enabled_from_env() {
   const std::optional<std::string> mode = support::env_string(kArenaEnvVar);
-  if (!mode) return true;  // unset => shard (node-bound) arenas
-  return !(support::iequals(*mode, "off") || *mode == "0" ||
-           support::iequals(*mode, "false"));
+  if (!mode || mode->empty()) return true;  // unset => shard arenas
+  if (support::iequals(*mode, "off") || *mode == "0" ||
+      support::iequals(*mode, "false")) {
+    return false;
+  }
+  if (support::iequals(*mode, "shard") || *mode == "1" ||
+      support::iequals(*mode, "on") || support::iequals(*mode, "true")) {
+    return true;
+  }
+  support::throw_bad_env(kArenaEnvVar, *mode, "shard or off");
 }
 
 Arena& Arena::runtime_default() {

@@ -33,6 +33,17 @@ void Handle::insert(TaskContext& ctx, Location& loc, AccessMode mode,
   ctx.program().register_insert(ctx.id(), loc, mode, priority, this);
 }
 
+void Handle::insert_standalone(Location& loc, AccessMode mode) {
+  if (linked()) {
+    throw std::logic_error("Handle: already linked to a location");
+  }
+  loc_ = &loc;
+  prog_ = nullptr;
+  task_ = 0;
+  mode_ = mode;
+  ticket_ = loc.enqueue_request(mode);
+}
+
 void Handle::write_insert(TaskContext& ctx, Location& loc,
                           std::uint64_t priority) {
   insert(ctx, loc, AccessMode::Write, priority);
@@ -51,7 +62,7 @@ void Handle::acquire() {
         "re-acquired after release; use Handle2 for iterations)");
   }
   if (acquired_) throw std::logic_error("Handle::acquire: already acquired");
-  loc_->queue().acquire(ticket_);
+  loc_->acquire_request(ticket_);
   acquired_ = true;
   // Measured communication matrix (ORWL_REPLACE): the grant we just got
   // is a hand-off from whoever released the location last — the pair
@@ -81,9 +92,9 @@ void Handle::release() {
     loc_->note_releaser(task_);
   }
   if (iterative_) {
-    ticket_ = loc_->queue().reinsert_and_release(ticket_, mode_);
+    ticket_ = loc_->reinsert_release_request(ticket_, mode_);
   } else {
-    loc_->queue().release(ticket_);
+    loc_->release_request(ticket_);
     ticket_ = 0;
   }
   acquired_ = false;

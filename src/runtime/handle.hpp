@@ -37,6 +37,13 @@ class Handle {
   /// write_insert; readers at the FIFO head are granted as a group).
   void read_insert(TaskContext& ctx, Location& loc, std::uint64_t priority);
 
+  /// Link this handle to a location outside any Program (no task context,
+  /// no schedule barrier): the request is enqueued immediately at the
+  /// FIFO tail. This is how dist clients drive a RemoteLocation — the
+  /// remote home's queue, not a local Program, orders the grants.
+  /// \throws std::logic_error when the handle is already linked.
+  void insert_standalone(Location& loc, AccessMode mode);
+
   /// Block until this handle's request is granted.
   /// \throws std::logic_error on protocol misuse (not linked, no pending
   ///         request, double acquire); std::runtime_error when the

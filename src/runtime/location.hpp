@@ -60,6 +60,35 @@ class Location : private GrantHook {
   Location(const Location&) = delete;
   Location& operator=(const Location&) = delete;
 
+  // ---- the request surface Handles drive ---------------------------------
+  // Virtual so a location can live in another process or on another host:
+  // dist::RemoteLocation overrides these four to run the same ticket
+  // life-cycle over a transport (REQ -> GRANT -> RELEASE frames) while
+  // Handle, the guards and the v2 facade stay byte-for-byte unchanged.
+  // The defaults drive the in-process FIFO queue.
+
+  /// Append a request for this location; returns its ticket.
+  virtual Ticket enqueue_request(AccessMode mode) {
+    return queue_.enqueue(mode);
+  }
+
+  /// Block until the ticket is granted (and, for a remote location, the
+  /// buffer payload has landed in the local mirror buffer).
+  virtual void acquire_request(Ticket t) { queue_.acquire(t); }
+
+  /// Release a granted request (for a remote write, ships the buffer
+  /// back to the home process first).
+  virtual void release_request(Ticket t) { queue_.release(t); }
+
+  /// Atomically re-insert a request of the same mode and release the
+  /// given one (the iterative-handle cycle). Returns the new ticket.
+  virtual Ticket reinsert_release_request(Ticket t, AccessMode mode) {
+    return queue_.reinsert_and_release(t, mode);
+  }
+
+  /// True for locations whose home is another process (dist layer).
+  virtual bool is_remote() const noexcept { return false; }
+
   LocationId id() const noexcept { return id_; }
   TaskId owner() const noexcept { return owner_; }
   /// Index of this location among its owner's locations.

@@ -25,9 +25,11 @@ DataTransferPolicy resolve_data_transfer(DataTransferMode mode) {
     case DataTransferMode::FromEnv: break;
   }
   const auto v = support::env_string(kDataTransferEnvVar);
-  if (v.has_value()) {
+  if (v.has_value() && !v->empty()) {
     if (support::iequals(*v, "off")) return DataTransferPolicy::Off;
+    if (support::iequals(*v, "owner")) return DataTransferPolicy::Owner;
     if (support::iequals(*v, "adaptive")) return DataTransferPolicy::Adaptive;
+    support::throw_bad_env(kDataTransferEnvVar, *v, "off, owner or adaptive");
   }
   return DataTransferPolicy::Owner;
 }
@@ -41,9 +43,11 @@ std::size_t resolve_transfer_hysteresis(std::size_t from_options) {
 ReplaceMode resolve_replace(ReplaceMode mode) {
   if (mode != ReplaceMode::FromEnv) return mode;
   const auto v = support::env_string(kReplaceEnvVar);
-  if (v.has_value()) {
+  if (v.has_value() && !v->empty()) {
+    if (support::iequals(*v, "off")) return ReplaceMode::Off;
     if (support::iequals(*v, "auto")) return ReplaceMode::Auto;
     if (support::iequals(*v, "passive")) return ReplaceMode::Passive;
+    support::throw_bad_env(kReplaceEnvVar, *v, "off, auto or passive");
   }
   return ReplaceMode::Off;
 }
@@ -279,7 +283,7 @@ void Program::register_insert(TaskId task, Location& loc, AccessMode mode,
   // that exists at insert time, instead of leaving it on the constructor's
   // owner-round-robin shard until the next affinity_compute().
   route_queue(loc);
-  handle->attach_ticket(loc.queue().enqueue(mode));
+  handle->attach_ticket(loc.enqueue_request(mode));
 }
 
 void Program::schedule_barrier(TaskId tid) {
@@ -333,7 +337,7 @@ void Program::freeze_and_place() {
     for (const PendingInsert& p : pending_) {
       graph_.locations[p.loc].accesses.push_back(
           Access{p.task, p.mode, p.priority});
-      p.handle->attach_ticket(locations_[p.loc]->queue().enqueue(p.mode));
+      p.handle->attach_ticket(locations_[p.loc]->enqueue_request(p.mode));
     }
     pending_.clear();
     scheduled_ = true;

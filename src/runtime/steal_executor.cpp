@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/comm_meter.hpp"
 #include "runtime/futex.hpp"
 #include "support/env.hpp"
 
@@ -43,9 +44,11 @@ const char* to_string(StealMode m) noexcept {
 StealMode resolve_steal_mode(StealMode from_options) {
   if (from_options != StealMode::FromEnv) return from_options;
   const auto v = support::env_string(kStealEnvVar);
-  if (v.has_value()) {
+  if (v.has_value() && !v->empty()) {
     if (support::iequals(*v, "off")) return StealMode::Off;
     if (support::iequals(*v, "node")) return StealMode::Node;
+    if (support::iequals(*v, "all")) return StealMode::All;
+    support::throw_bad_env(kStealEnvVar, *v, "off, node or all");
   }
   return StealMode::All;
 }
@@ -205,16 +208,38 @@ void StealExecutor::notify_work() noexcept {
 
 bool StealExecutor::sweep(const std::vector<std::uint32_t>& order,
                           std::size_t limit, std::uint64_t& item,
-                          int& victim_node) noexcept {
+                          int& victim_node,
+                          std::uint32_t& victim_worker) noexcept {
   const std::size_t n = limit < order.size() ? limit : order.size();
   for (std::size_t i = 0; i < n; ++i) {
     WorkerState& v = *state_[order[i]];
     if (v.deque->steal(item)) {
       victim_node = v.node;
+      victim_worker = order[i];
       return true;
     }
   }
   return false;
+}
+
+void StealExecutor::set_meter(CommMeter* meter,
+                              std::size_t num_tasks) noexcept {
+  meter_tasks_.store(num_tasks, std::memory_order_relaxed);
+  meter_.store(meter, std::memory_order_release);
+}
+
+void StealExecutor::meter_steal(std::size_t thief, std::uint32_t victim,
+                                bool remote) noexcept {
+  CommMeter* meter = meter_.load(std::memory_order_acquire);
+  if (meter == nullptr) return;
+  const std::size_t tasks = meter_tasks_.load(std::memory_order_relaxed);
+  if (thief >= tasks || victim >= tasks || thief == victim) return;
+  // Any shard bank is valid; spreading by the thief's termination-tree
+  // node keeps concurrent thieves on different nodes off one cache line.
+  const std::size_t shard =
+      static_cast<std::size_t>(state_[thief]->node) % meter->num_shards();
+  meter->record(shard, static_cast<TaskId>(victim),
+                static_cast<TaskId>(thief), kStealBytes, remote);
 }
 
 void StealExecutor::execute(const ItemFn& fn, std::uint64_t item,
@@ -247,6 +272,7 @@ void StealExecutor::run_worker(std::size_t w, const ItemFn& fn) {
     }
     std::uint64_t item = 0;
     int victim_node = ws.node;
+    std::uint32_t victim_worker = 0;
     bool got = false;
     bool stolen = false;
     if (!ctx.overflow_.empty()) {
@@ -255,7 +281,8 @@ void StealExecutor::run_worker(std::size_t w, const ItemFn& fn) {
       got = true;
     } else if (ws.deque->pop(item)) {
       got = true;
-    } else if (sweep(ws.victims, steal_limit, item, victim_node)) {
+    } else if (sweep(ws.victims, steal_limit, item, victim_node,
+                     victim_worker)) {
       got = true;
       stolen = true;
     }
@@ -264,6 +291,7 @@ void StealExecutor::run_worker(std::size_t w, const ItemFn& fn) {
       if (stolen) {
         (victim_node == ws.node ? ws.local_steals : ws.remote_steals)
             .fetch_add(1, std::memory_order_relaxed);
+        meter_steal(w, victim_worker, victim_node != ws.node);
       }
       execute(fn, item, ctx);
       ws.executed.fetch_add(1, std::memory_order_relaxed);
@@ -350,6 +378,7 @@ std::uint64_t StealExecutor::lend(const std::function<bool()>& give_up) {
     }
     std::uint64_t item = 0;
     int victim_node = my_node;
+    std::uint32_t victim_worker = 0;
     bool got = false;
     if (!ctx.overflow_.empty()) {
       item = ctx.overflow_.back();
@@ -357,7 +386,7 @@ std::uint64_t StealExecutor::lend(const std::function<bool()>& give_up) {
       got = true;
     } else if (ctx.deque_ != nullptr && ctx.deque_->pop(item)) {
       got = true;
-    } else if (sweep(*order, limit, item, victim_node)) {
+    } else if (sweep(*order, limit, item, victim_node, victim_worker)) {
       got = true;
     }
     if (!got) {

@@ -48,6 +48,8 @@
 
 namespace orwl::rt {
 
+class CommMeter;
+
 /// Steal policy (ORWL_STEAL / ProgramOptions::steal).
 enum class StealMode {
   Off,      ///< no stealing: each worker drains only its own deque
@@ -168,6 +170,24 @@ class StealExecutor {
   /// null when no session is active.
   static StealExecutor* current() noexcept;
 
+  /// Bytes one steal charges to the measured comm matrix: the stolen
+  /// item's 8-byte payload plus the cache line its working set drags
+  /// across on first touch. A deliberate floor — a steal moves at least
+  /// this much, and the re-placement trigger compares *shapes*, not
+  /// absolute volumes.
+  static constexpr std::uint64_t kStealBytes = 64;
+
+  /// Feed successful steals into `meter` (null detaches): each one is a
+  /// hand-off of the stolen item from the victim's task to the thief's,
+  /// recorded as (victim → thief, kStealBytes, remote = cross-node). With
+  /// this, a for_each whose items keep flowing across NUMA nodes skews
+  /// the measured matrix exactly like lock hand-offs do, so sustained
+  /// cross-node stealing can trip the ORWL_REPLACE divergence trigger.
+  /// Only workers with task identity record (index < num_tasks; lenders
+  /// have none). Thread-compatible with a running session: the pointer
+  /// is read with acquire on each steal.
+  void set_meter(CommMeter* meter, std::size_t num_tasks) noexcept;
+
   Stats stats() const noexcept;
 
  private:
@@ -197,10 +217,17 @@ class StealExecutor {
   /// Wake parked workers after a push (cheap no-op when nobody parks).
   void notify_work() noexcept;
 
-  /// One locality-ordered pass over `order`; on success the item and
-  /// its victim's node are written through the out-params.
+  /// One locality-ordered pass over `order`; on success the item plus
+  /// its victim's node and worker index are written through the
+  /// out-params.
   bool sweep(const std::vector<std::uint32_t>& order, std::size_t limit,
-             std::uint64_t& item, int& victim_node) noexcept;
+             std::uint64_t& item, int& victim_node,
+             std::uint32_t& victim_worker) noexcept;
+
+  /// Record a successful steal on the attached meter (no-op without
+  /// one, or when either side lacks task identity).
+  void meter_steal(std::size_t thief, std::uint32_t victim,
+                   bool remote) noexcept;
 
   void execute(const ItemFn& fn, std::uint64_t item, WorkerContext& ctx);
 
@@ -218,6 +245,11 @@ class StealExecutor {
   std::atomic<const ItemFn*> session_fn_{nullptr};
 
   std::atomic<std::uint64_t> lend_executed_{0};
+
+  /// Steal-traffic sink (see set_meter); tasks_ bounds which worker
+  /// indices carry task identity.
+  std::atomic<CommMeter*> meter_{nullptr};
+  std::atomic<std::size_t> meter_tasks_{0};
 
   /// Victim order used by lenders (all workers, round-robin rotation
   /// applied per loan so concurrent lenders fan out).

@@ -78,6 +78,10 @@ struct Server::Tenant {
   std::uint64_t grow_events = 0;
   std::uint64_t shrink_events = 0;
   rt::ProgramStats rollup;
+
+  /// Full registry names this tenant exported (under t->mu); unexported
+  /// when the tenant is evicted.
+  std::vector<std::string> dist_exports;
 };
 
 namespace {
@@ -107,6 +111,12 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
 }
 
 Server::~Server() {
+  // Cut remote traffic first: after stop() no proxy ticket can be
+  // enqueued into a location owned by a tenant we are about to join.
+  {
+    std::lock_guard<std::mutex> lk(dist_mu_);
+    if (registry_ != nullptr) registry_->stop();
+  }
   std::vector<std::shared_ptr<Tenant>> all;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -182,6 +192,19 @@ void Server::evict(TenantId id) {
     if (it == tenants_.end()) return;
     t = it->second;
     tenants_.erase(it);  // blocks new submits right away
+  }
+  // Stop remote attaches to this tenant's exports before its work
+  // drains; outstanding proxies complete normally (Registry::unexport).
+  {
+    std::vector<std::string> names;
+    {
+      std::lock_guard<std::mutex> lk(t->mu);
+      names.swap(t->dist_exports);
+    }
+    if (!names.empty()) {
+      dist::Registry& reg = dist_registry();
+      for (const std::string& n : names) reg.unexport(n);
+    }
   }
   // Finish what was accepted and join the workers while the PUs are
   // still marked taken: freeing them first would let a concurrent
@@ -412,6 +435,46 @@ TenantStats Server::snapshot(const Tenant& t) {
   s.shrink_events = t.shrink_events;
   s.runtime = t.rollup;
   return s;
+}
+
+dist::Registry& Server::dist_registry() {
+  std::lock_guard<std::mutex> lk(dist_mu_);
+  if (registry_ == nullptr) registry_ = std::make_unique<dist::Registry>();
+  return *registry_;
+}
+
+std::string Server::serve_dist(
+    std::unique_ptr<dist::ServerTransport> transport) {
+  dist::Registry& reg = dist_registry();
+  reg.serve(std::move(transport));
+  return reg.address();
+}
+
+std::string Server::export_location(TenantId id, const std::string& name,
+                                    rt::Location* loc) {
+  std::shared_ptr<Tenant> t = find(id);
+  if (t == nullptr) {
+    throw std::out_of_range("Server::export_location: unknown tenant " +
+                            std::to_string(id));
+  }
+  const std::string full = t->spec.name + "/" + name;
+  dist::Registry& reg = dist_registry();
+  reg.export_location(full, loc);
+  {
+    std::lock_guard<std::mutex> lk(t->mu);
+    t->dist_exports.push_back(full);
+  }
+  // Re-check admission: an evict() that raced us may have swept the
+  // tenant's export list before our push landed. Seeing the tenant here
+  // means our push preceded the sweep (the sweep runs after the erase
+  // this find would have observed), so eviction will unexport us;
+  // otherwise we roll back ourselves (unexport is idempotent).
+  if (find(id) == nullptr) {
+    reg.unexport(full);
+    throw std::out_of_range("Server::export_location: tenant " +
+                            std::to_string(id) + " is being evicted");
+  }
+  return full;
 }
 
 }  // namespace orwl::server

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/registry.hpp"
+#include "dist/transport.hpp"
 #include "runtime/program.hpp"
 #include "topo/cpuset.hpp"
 #include "topo/shard.hpp"
@@ -195,6 +197,30 @@ class Server {
   /// The machine being carved.
   const topo::Topology& topology() const { return *topo_; }
 
+  // ---- remote attach (distributed ORWL) -----------------------------------
+
+  /// Start serving tenant-exported locations over `transport` (shm or
+  /// tcp; at most one per server). Remote processes connect with
+  /// dist::Client against the returned address.
+  /// \return The transport's connectable address.
+  std::string serve_dist(std::unique_ptr<dist::ServerTransport> transport);
+
+  /// Export `loc` for remote attach under the tenant-namespaced name
+  /// "<tenant-name>/<name>" — tenants cannot collide or squat on each
+  /// other's names, and evicting the tenant unexports everything it
+  /// published (in-flight proxies drain first; see Registry::unexport).
+  /// `loc` must stay valid until the tenant is evicted. Typically called
+  /// from the tenant's own handler with a program-owned location.
+  /// \return The full exported name ("<tenant-name>/<name>").
+  /// \throws std::out_of_range on an unknown/evicted tenant;
+  ///         std::invalid_argument on a duplicate name.
+  std::string export_location(TenantId id, const std::string& name,
+                              rt::Location* loc);
+
+  /// The registry behind serve_dist/export_location (created on first
+  /// use, so exports may precede serve_dist).
+  dist::Registry& dist_registry();
+
   // Resolved option values (after env fallback) — test introspection.
   std::size_t max_tenants() const noexcept { return max_tenants_; }
   std::size_t queue_capacity() const noexcept { return queue_cap_; }
@@ -224,6 +250,9 @@ class Server {
   std::map<TenantId, std::shared_ptr<Tenant>> tenants_;
   topo::CpuSet taken_;
   TenantId next_id_ = 1;
+
+  mutable std::mutex dist_mu_;         ///< guards lazy registry_ creation
+  std::unique_ptr<dist::Registry> registry_;
 };
 
 }  // namespace orwl::server

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace orwl::support {
 
@@ -22,6 +23,12 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
+[[noreturn]] void throw_bad_env(const char* name, std::string_view value,
+                                const char* expected) {
+  throw std::invalid_argument(std::string(name) + "=\"" + std::string(value) +
+                              "\": expected " + expected);
+}
+
 bool env_bool(const char* name, bool fallback) {
   const auto v = env_string(name);
   if (!v) return fallback;
@@ -34,7 +41,7 @@ bool env_bool(const char* name, bool fallback) {
       iequals(s, "no") || iequals(s, "off")) {
     return false;
   }
-  return fallback;
+  throw_bad_env(name, s, "a boolean (1/true/yes/on or 0/false/no/off)");
 }
 
 ScopedEnv::ScopedEnv(const char* name, const char* value)
@@ -63,7 +70,9 @@ long env_long(const char* name, long fallback) {
   if (!v || v->empty()) return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v->c_str(), &end, 10);
-  if (end == v->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) {
+    throw_bad_env(name, *v, "an integer");
+  }
   return parsed;
 }
 
@@ -72,7 +81,9 @@ double env_double(const char* name, double fallback) {
   if (!v || v->empty()) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
-  if (end == v->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) {
+    throw_bad_env(name, *v, "a number");
+  }
   return parsed;
 }
 

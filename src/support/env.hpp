@@ -18,15 +18,25 @@ std::optional<std::string> env_string(const char* name);
 /// Parse a boolean environment variable.
 /// Accepted truthy spellings: "1", "true", "yes", "on" (case-insensitive).
 /// Accepted falsy spellings: "0", "false", "no", "off", "" (empty).
-/// Unset or unparsable values yield `fallback`.
+/// Unset yields `fallback`; anything else throws std::invalid_argument
+/// naming the variable — a typo'd knob must fail loudly, not silently
+/// run with a default.
 bool env_bool(const char* name, bool fallback = false);
 
-/// Parse an integral environment variable; `fallback` on unset/unparsable.
+/// Parse an integral environment variable. Unset/empty yields `fallback`;
+/// unparsable values throw std::invalid_argument naming the variable.
 long env_long(const char* name, long fallback);
 
-/// Parse a floating-point environment variable (strtod syntax);
-/// `fallback` on unset/unparsable values.
+/// Parse a floating-point environment variable (strtod syntax).
+/// Unset/empty yields `fallback`; unparsable values throw
+/// std::invalid_argument naming the variable.
 double env_double(const char* name, double fallback);
+
+/// Throw std::invalid_argument for a malformed environment value:
+/// `NAME="value": expected <expected>`. Shared by the typed parsers above
+/// and by enum-valued knob resolvers (ORWL_DATA_TRANSFER, ORWL_DIST, ...).
+[[noreturn]] void throw_bad_env(const char* name, std::string_view value,
+                                const char* expected);
 
 /// Case-insensitive ASCII string comparison (helper, exposed for tests).
 bool iequals(std::string_view a, std::string_view b) noexcept;

@@ -1,6 +1,8 @@
 #include "topo/machines.hpp"
 
 #include <charconv>
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "support/env.hpp"
@@ -113,6 +115,41 @@ Topology make_numa(int numa_nodes, int cores_per_node, int pus_per_core,
           std::to_string(cores_per_node) + "x" + std::to_string(pus_per_core));
 }
 
+Topology make_cluster(const std::vector<Topology>& hosts) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("make_cluster: no hosts");
+  }
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+  int next_pu_os = 0;
+  std::function<std::unique_ptr<Object>(const Object&)> copy =
+      [&](const Object& src) {
+        auto dst = std::make_unique<Object>();
+        dst->type = src.type;
+        dst->os_index = src.type == ObjType::PU ? next_pu_os++ : src.os_index;
+        dst->attr_size = src.attr_size;
+        dst->name = src.name;
+        for (const auto& c : src.children) {
+          auto child = copy(*c);
+          child->parent = dst.get();
+          dst->children.push_back(std::move(child));
+        }
+        return dst;
+      };
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    auto sub = copy(hosts[h].root());
+    // The grafted host root becomes a Group: only the synthetic cluster
+    // root is a Machine, and every inter-host path crosses it.
+    sub->type = ObjType::Group;
+    sub->name = "host " + std::to_string(h);
+    sub->parent = root.get();
+    root->children.push_back(std::move(sub));
+  }
+  return Topology::adopt(std::move(root),
+                         "cluster-" + std::to_string(hosts.size()) + "x" +
+                             hosts.front().name());
+}
+
 std::optional<Topology> make_named(const std::string& spec) {
   using support::iequals;
   const std::vector<std::string> fields = split_fields(spec);
@@ -134,6 +171,19 @@ std::optional<Topology> make_named(const std::string& spec) {
     const auto pus = parse_positive(fields[3]);
     if (nodes && cores && pus) return make_numa(*nodes, *cores, *pus);
     return std::nullopt;
+  }
+  if (iequals(kind, "cluster") && fields.size() >= 3) {
+    const auto n = parse_positive(fields[1]);
+    if (!n) return std::nullopt;
+    // Everything after the host count is the per-host spec, recursively.
+    std::string base = fields[2];
+    for (std::size_t i = 3; i < fields.size(); ++i) base += ":" + fields[i];
+    auto host = make_named(base);
+    if (!host) return std::nullopt;
+    std::vector<Topology> hosts;
+    hosts.reserve(static_cast<std::size_t>(*n));
+    for (int i = 0; i < *n; ++i) hosts.push_back(host->clone());
+    return make_cluster(hosts);
   }
   return std::nullopt;
 }

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "topo/topology.hpp"
 
@@ -48,11 +49,23 @@ Topology make_flat(int n);
 Topology make_numa(int numa_nodes, int cores_per_node, int pus_per_core,
                    std::size_t l3_bytes = 20u * 1024 * 1024);
 
+/// Cluster: graft per-host trees under a synthetic Machine root, one
+/// Group ("host k") per member. Every inter-host PU pair then crosses
+/// the root, so the hop-distance metric that drives tree_match makes the
+/// inter-host distance dominate and tasks are placed host-first; within
+/// a host the per-process comm-matrix / ORWL_REPLACE machinery keeps
+/// working on the grafted subtree unchanged. Hosts must share one shape
+/// (the tree is level-homogeneous); PU os indices are renumbered into
+/// disjoint per-host ranges. Throws std::invalid_argument when `hosts`
+/// is empty.
+Topology make_cluster(const std::vector<Topology>& hosts);
+
 /// Build a fixture from a textual spec, used by detection when the host
 /// cannot be probed (ORWL_TOPOLOGY env var, CI runners without /sys).
 /// Accepted specs: "smp12e5", "smp20e7", "fig2", "flat:<pus>",
-/// "numa:<nodes>:<cores>:<pus-per-core>". Case-insensitive; returns
-/// std::nullopt for anything else.
+/// "numa:<nodes>:<cores>:<pus-per-core>", and "cluster:<hosts>:<spec>"
+/// (e.g. "cluster:4:numa:2:4:1" = four such hosts under one synthetic
+/// root). Case-insensitive; returns std::nullopt for anything else.
 std::optional<Topology> make_named(const std::string& spec);
 
 }  // namespace orwl::topo

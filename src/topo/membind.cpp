@@ -38,9 +38,31 @@ constexpr std::size_t kMovePagesChunk = 16384;  // pages per syscall
 
 /// ORWL_MEMBIND=emulate forces the portable fallback. Read per call (not
 /// cached) so tests can toggle it with ScopedEnv.
-bool force_emulation() {
+enum class MemBindMode { Native, Emulate, Invalid };
+
+MemBindMode membind_mode() noexcept {
   const auto v = support::env_string(kMemBindEnvVar);
-  return v.has_value() && support::iequals(*v, "emulate");
+  if (!v || v->empty() || support::iequals(*v, "auto")) {
+    return MemBindMode::Native;
+  }
+  if (support::iequals(*v, "emulate")) return MemBindMode::Emulate;
+  return MemBindMode::Invalid;
+}
+
+/// True when the syscall lane must be skipped. noexcept callers (migrate,
+/// residency queries) route garbage to the safe emulate lane; the throwing
+/// validation lives on the allocate path, which every buffer passes first.
+bool force_emulation() noexcept {
+  return membind_mode() != MemBindMode::Native;
+}
+
+/// Allocate-path variant: rejects a malformed ORWL_MEMBIND loudly.
+bool force_emulation_checked() {
+  const auto v = support::env_string(kMemBindEnvVar);
+  if (membind_mode() == MemBindMode::Invalid) {
+    support::throw_bad_env(kMemBindEnvVar, *v, "auto or emulate");
+  }
+  return force_emulation();
 }
 
 std::size_t round_to_pages(std::size_t bytes) {
@@ -224,7 +246,7 @@ MemBind MemBind::allocate(std::size_t bytes, int node, bool huge) {
   if (bytes == 0) return m;
 
 #if defined(__linux__)
-  if (!force_emulation()) {
+  if (!force_emulation_checked()) {
 #if defined(MAP_HUGETLB)
     // Huge-page lane: reservation happens at mmap time for anonymous
     // hugetlb mappings (no MAP_NORESERVE), so an exhausted pool fails

@@ -54,9 +54,9 @@ TEST(DataTransferPolicy, ResolvedFromOptionsAndEnv) {
               rt::DataTransferPolicy::Adaptive);
   }
   {
+    // A typo'd policy must fail loudly, naming the variable.
     support::ScopedEnv env(rt::kDataTransferEnvVar, "bogus");
-    EXPECT_EQ(rt::Program(2, o).data_transfer(),
-              rt::DataTransferPolicy::Owner);
+    EXPECT_THROW(rt::Program(2, o), std::invalid_argument);
   }
   {
     // Explicit options beat the environment.

@@ -140,10 +140,9 @@ TEST(Detect, EnvOverrideSelectsFixture) {
   EXPECT_EQ(t.at_depth(t.depth_of_type(ObjType::NumaNode)).size(), 2u);
 }
 
-TEST(Detect, BadEnvOverrideFallsBackToProbing) {
+TEST(Detect, BadEnvOverrideIsRejectedNotIgnored) {
   orwl::support::ScopedEnv guard(kTopologyEnvVar, "not-a-machine");
-  const Topology t = detect_host();
-  EXPECT_GE(t.num_pus(), 1u);
+  EXPECT_THROW(detect_host(), std::invalid_argument);
 }
 
 TEST(Detect, HostDetectionProducesUsableTopology) {

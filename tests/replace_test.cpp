@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <thread>
+#include <vector>
 
 #include "orwl/orwl.hpp"
 #include "runtime/comm_meter.hpp"
+#include "runtime/steal_executor.hpp"
 #include "support/env.hpp"
 #include "topo/machines.hpp"
 #include "topo/membind.hpp"
@@ -55,8 +58,9 @@ TEST(ReplaceMode, ResolvedFromOptionsAndEnv) {
     EXPECT_EQ(rt::Program(2, o).replace_mode(), rt::ReplaceMode::Auto);
   }
   {
+    // A typo'd mode must fail loudly, naming the variable.
     support::ScopedEnv env(rt::kReplaceEnvVar, "bogus");
-    EXPECT_EQ(rt::Program(2, o).replace_mode(), rt::ReplaceMode::Off);
+    EXPECT_THROW(rt::Program(2, o), std::invalid_argument);
   }
   {
     // Explicit options beat the environment.
@@ -160,6 +164,69 @@ TEST(CommMeter, ZeroByteHandoffsStillCount) {
   EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
 }
 
+// Cross-node steals are hand-offs too: the executor charges each
+// successful steal to the meter as (victim task -> thief task), so a
+// for_each whose items keep draining across NUMA nodes skews the
+// measured matrix and can trip the ORWL_REPLACE divergence trigger.
+TEST(CommMeter, CrossNodeStealsFeedTheMeasuredMatrix) {
+  const topo::Topology machine = topo::make_numa(2, 2, 1);  // PUs 0,1 | 2,3
+  rt::CommMeter meter(2, 2);
+  rt::StealExecutor::Config cfg;
+  cfg.mode = rt::StealMode::All;
+  std::vector<rt::StealExecutor::WorkerSpec> specs(2);
+  specs[0].pu = 0;  // node 0
+  specs[1].pu = 2;  // node 1
+  rt::StealExecutor ex(machine, std::move(specs), cfg);
+  ex.set_meter(&meter, 2);
+
+  constexpr std::uint64_t kItems = 64;
+  for (std::uint64_t i = 0; i < kItems; ++i) ex.seed(0, i);
+  const rt::StealExecutor::ItemFn fn =
+      [](std::uint64_t, rt::StealExecutor::WorkerContext&) {};
+  // Worker 1 runs alone first: with the owner not yet popping, the only
+  // way it can execute anything is stealing from worker 0's deque across
+  // the node boundary — every item becomes one remote hand-off.
+  std::thread thief([&] { ex.run_worker(1, fn); });
+  thief.join();
+  ex.run_worker(0, fn);
+
+  const rt::StealExecutor::Stats s = ex.stats();
+  EXPECT_EQ(s.executed, kItems);
+  EXPECT_EQ(s.remote_steals, kItems);
+  EXPECT_EQ(s.local_steals, 0u);
+  EXPECT_EQ(meter.handoffs(), kItems);
+  EXPECT_EQ(meter.remote_handoffs(), kItems);
+
+  tm::CommMatrix m(2);
+  const double drained = meter.harvest(m, 1.0);
+  const double expected =
+      static_cast<double>(kItems * rt::StealExecutor::kStealBytes);
+  EXPECT_DOUBLE_EQ(drained, expected);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), expected);
+}
+
+// A null meter (replace policy Off) keeps the steal hot path untouched.
+TEST(CommMeter, DetachedMeterRecordsNothing) {
+  const topo::Topology machine = topo::make_numa(2, 2, 1);
+  rt::CommMeter meter(1, 2);
+  rt::StealExecutor::Config cfg;
+  cfg.mode = rt::StealMode::All;
+  std::vector<rt::StealExecutor::WorkerSpec> specs(2);
+  specs[0].pu = 0;
+  specs[1].pu = 2;
+  rt::StealExecutor ex(machine, std::move(specs), cfg);
+  ex.set_meter(&meter, 2);
+  ex.set_meter(nullptr, 0);  // detach again
+
+  for (std::uint64_t i = 0; i < 16; ++i) ex.seed(0, i);
+  const rt::StealExecutor::ItemFn fn =
+      [](std::uint64_t, rt::StealExecutor::WorkerContext&) {};
+  std::thread thief([&] { ex.run_worker(1, fn); });
+  thief.join();
+  ex.run_worker(0, fn);
+  EXPECT_EQ(meter.handoffs(), 0u);
+}
+
 // --------------------------------------------- normalized_distance ------
 
 TEST(NormalizedDistance, BasicProperties) {
@@ -260,6 +327,11 @@ TEST(Replace, MeasuredMatrixReflectsTheSkew) {
   rt::ProgramOptions o = fixture_opts(machine);
   o.replace = rt::ReplaceMode::Passive;
   o.replace_interval = 1;
+  // No decay: under load the hot pair can race through all its
+  // iterations early, and every later harvest (driven by the lagging
+  // cool pair's boundaries) would halve the hot traffic — with decay 1
+  // the matrix accumulates and the 8:1 skew is scheduling-independent.
+  o.replace_decay = 1.0;
 
   Program prog(4, o);
   for (TaskId t = 0; t < 4; ++t) {
@@ -296,7 +368,7 @@ TEST(Replace, MeasuredMatrixReflectsTheSkew) {
   EXPECT_GT(m.at(0, 1), 0.0);
   EXPECT_GT(m.at(2, 3), 0.0);
   EXPECT_GT(m.at(0, 1), 2.0 * m.at(2, 3))
-      << "the hot pair must dominate the decayed average";
+      << "the hot pair must dominate the measured matrix";
   EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0) << "pairs that never met stay empty";
 }
 

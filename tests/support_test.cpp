@@ -42,10 +42,17 @@ TEST_F(EnvTest, BoolFalsySpellings) {
   }
 }
 
-TEST_F(EnvTest, BoolFallbackOnGarbage) {
+TEST_F(EnvTest, BoolRejectsGarbageNamingTheVariable) {
   setenv("ORWL_TEST_VAR", "banana", 1);
-  EXPECT_TRUE(env_bool("ORWL_TEST_VAR", true));
-  EXPECT_FALSE(env_bool("ORWL_TEST_VAR", false));
+  try {
+    env_bool("ORWL_TEST_VAR", true);
+    FAIL() << "garbage boolean must throw, not fall back";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ORWL_TEST_VAR"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(EnvTest, BoolFallbackOnUnset) {
@@ -60,9 +67,18 @@ TEST_F(EnvTest, LongParsesAndFallsBack) {
   setenv("ORWL_TEST_VAR", "-7", 1);
   EXPECT_EQ(env_long("ORWL_TEST_VAR", -1), -7);
   setenv("ORWL_TEST_VAR", "12x", 1);
-  EXPECT_EQ(env_long("ORWL_TEST_VAR", -1), -1);
+  EXPECT_THROW(env_long("ORWL_TEST_VAR", -1), std::invalid_argument);
   unsetenv("ORWL_TEST_VAR");
   EXPECT_EQ(env_long("ORWL_TEST_VAR", 99), 99);
+}
+
+TEST_F(EnvTest, DoubleParsesAndRejectsGarbage) {
+  setenv("ORWL_TEST_VAR", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("ORWL_TEST_VAR", -1.0), 0.75);
+  setenv("ORWL_TEST_VAR", "0.75oops", 1);
+  EXPECT_THROW(env_double("ORWL_TEST_VAR", -1.0), std::invalid_argument);
+  unsetenv("ORWL_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("ORWL_TEST_VAR", 1.5), 1.5);
 }
 
 TEST_F(EnvTest, ScopedEnvRestoresPreviousValue) {

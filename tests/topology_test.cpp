@@ -157,6 +157,62 @@ TEST(TopologyQueries, DepthOfMissingTypeIsMinusOne) {
 
 // -------------------------------------------------------------- clone ----
 
+// ----------------------------------------------------------- cluster ----
+
+TEST(Cluster, GraftsHostsUnderOneRootWithDisjointPuRanges) {
+  std::vector<Topology> hosts;
+  hosts.push_back(make_numa(2, 2, 1));
+  hosts.push_back(make_numa(2, 2, 1));
+  const Topology c = make_cluster(hosts);
+  // 2 hosts x 2 nodes x 2 cores x 1 PU.
+  ASSERT_EQ(c.num_pus(), 8u);
+  // Host subtrees are Groups directly below the Machine root.
+  ASSERT_EQ(c.root().children.size(), 2u);
+  for (const auto& host : c.root().children) {
+    EXPECT_EQ(host->type, ObjType::Group);
+  }
+  EXPECT_EQ(c.root().children[0]->name, "host 0");
+  EXPECT_EQ(c.root().children[1]->name, "host 1");
+  // PU os indices renumbered into disjoint, contiguous per-host ranges.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(c.pu_at(i)->os_index, i);
+  }
+}
+
+TEST(Cluster, InterHostDistanceDominatesIntraHost) {
+  std::vector<Topology> hosts;
+  hosts.push_back(make_numa(2, 2, 1));
+  hosts.push_back(make_numa(2, 2, 1));
+  const Topology c = make_cluster(hosts);
+  // Worst intra-host pair: PUs 0 and 3 share only the host Group.
+  const int intra = c.distance(0, 3);
+  // Any cross-host pair shares only the cluster root.
+  const int inter = c.distance(0, 4);
+  EXPECT_GT(inter, intra);
+  // Every cross-host pair is equidistant (they all cross the root).
+  EXPECT_EQ(c.distance(3, 4), inter);
+  EXPECT_EQ(c.distance(0, 7), inter);
+}
+
+TEST(Cluster, RejectsEmptyHostList) {
+  EXPECT_THROW(make_cluster({}), std::invalid_argument);
+}
+
+TEST(Cluster, NamedSpecBuildsRecursively) {
+  const auto c = make_named("cluster:3:numa:2:2:1");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->num_pus(), 12u);
+  EXPECT_EQ(c->root().children.size(), 3u);
+  // The base spec must itself resolve.
+  EXPECT_FALSE(make_named("cluster:2:bogus").has_value());
+  EXPECT_FALSE(make_named("cluster:0:flat:4").has_value());
+  EXPECT_FALSE(make_named("cluster:2").has_value());
+  // Flat hosts work too.
+  const auto f = make_named("cluster:2:flat:4");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->num_pus(), 8u);
+}
+
 TEST(TopologyClone, DeepCopyIsIndependentAndEquivalent) {
   const Topology t = make_smp20e7();
   const Topology c = t.clone();
